@@ -1,0 +1,512 @@
+package frapp
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section 7), plus ablation benches for the design decisions called out
+// in DESIGN.md §5. Each figure bench runs the same harness the
+// frapp-bench command uses, at the paper's dataset sizes; the ablations
+// isolate individual mechanisms.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+	"repro/internal/linalg"
+	"repro/internal/mining"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+var benchState struct {
+	once   sync.Once
+	cfg    experiment.Config
+	census *experiment.Bundle
+	health *experiment.Bundle
+	err    error
+}
+
+// benchBundles prepares the paper-scale datasets once for all benches.
+func benchBundles(b *testing.B) (experiment.Config, *experiment.Bundle, *experiment.Bundle) {
+	b.Helper()
+	benchState.once.Do(func() {
+		benchState.cfg = experiment.DefaultConfig()
+		benchState.census, benchState.err = experiment.LoadCensus(benchState.cfg)
+		if benchState.err != nil {
+			return
+		}
+		benchState.health, benchState.err = experiment.LoadHealth(benchState.cfg)
+	})
+	if benchState.err != nil {
+		b.Fatal(benchState.err)
+	}
+	return benchState.cfg, benchState.census, benchState.health
+}
+
+// BenchmarkTable1CensusSchema regenerates the paper's Table 1.
+func BenchmarkTable1CensusSchema(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiment.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2HealthSchema regenerates the paper's Table 2.
+func BenchmarkTable2HealthSchema(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiment.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3FrequentItemsets regenerates Table 3: exact Apriori over
+// both datasets at supmin = 2%.
+func BenchmarkTable3FrequentItemsets(b *testing.B) {
+	cfg, census, health := benchBundles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bun := range []*experiment.Bundle{census, health} {
+			res, err := mining.Apriori(&mining.ExactCounter{DB: bun.DB}, cfg.MinSupport)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.ByLength) == 0 {
+				b.Fatal("no frequent itemsets")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(census.Truth.Counts())), "census-max-len")
+	b.ReportMetric(float64(len(health.Truth.Counts())), "health-max-len")
+}
+
+// BenchmarkFig1CensusAccuracy regenerates Figure 1: all four schemes'
+// support and identity errors on CENSUS.
+func BenchmarkFig1CensusAccuracy(b *testing.B) {
+	cfg, census, _ := benchBundles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.AccuracyStudy(census, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Runs) != 4 {
+			b.Fatal("missing scheme runs")
+		}
+	}
+}
+
+// BenchmarkFig2HealthAccuracy regenerates Figure 2 on HEALTH.
+func BenchmarkFig2HealthAccuracy(b *testing.B) {
+	cfg, _, health := benchBundles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.AccuracyStudy(health, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Runs) != 4 {
+			b.Fatal("missing scheme runs")
+		}
+	}
+}
+
+// BenchmarkFig3Randomization regenerates Figure 3: the α sweep of
+// posterior ranges and length-4 support errors (CENSUS panel; the HEALTH
+// panel is the same harness on the other bundle).
+func BenchmarkFig3Randomization(b *testing.B) {
+	cfg, census, _ := benchBundles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RandomizationStudy(census, cfg, 11, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Points) != 11 {
+			b.Fatal("missing sweep points")
+		}
+	}
+}
+
+// BenchmarkFig4ConditionNumbers regenerates Figure 4: reconstruction
+// matrix condition numbers per itemset length for both datasets.
+func BenchmarkFig4ConditionNumbers(b *testing.B) {
+	cfg, census, health := benchBundles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bun := range []*experiment.Bundle{census, health} {
+			fig, err := experiment.ConditionStudy(bun, cfg, bun.DB.Schema.M())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(fig.Lengths) != bun.DB.Schema.M() {
+				b.Fatal("missing lengths")
+			}
+		}
+	}
+}
+
+// --- Ablation: closed-form vs LU reconstruction solve (DESIGN.md §5) ---
+
+func benchSolveSetup(b *testing.B) (core.UniformMatrix, []float64) {
+	b.Helper()
+	m, err := core.NewGammaDiagonal(2000, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	y := make([]float64, 2000)
+	for i := range y {
+		y[i] = rng.Float64() * 100
+	}
+	return m, y
+}
+
+func BenchmarkAblationSolverClosedForm(b *testing.B) {
+	m, y := benchSolveSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSolverLU(b *testing.B) {
+	m, y := benchSolveSetup(b)
+	dense := m.Dense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.Solve(dense, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: Section 5 perturbation, O(M) chained vs O(|S_V|) naive ---
+
+func benchPerturbSetup(b *testing.B) (*dataset.Schema, core.UniformMatrix, dataset.Record) {
+	b.Helper()
+	s := dataset.CensusSchema()
+	m, err := core.NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, m, dataset.Record{0, 1, 1, 0, 1, 0}
+}
+
+func BenchmarkAblationPerturbChained(b *testing.B) {
+	s, m, rec := benchPerturbSetup(b)
+	p, err := core.NewGammaPerturber(s, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Perturb(rec, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPerturbNaiveCDF(b *testing.B) {
+	s, m, rec := benchPerturbSetup(b)
+	p, err := core.NewNaiveGammaPerturber(s, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Perturb(rec, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: discrete sampling, alias method vs linear CDF walk ---
+
+func benchSamplerWeights(b *testing.B) []float64 {
+	b.Helper()
+	rng := rand.New(rand.NewSource(4))
+	w := make([]float64, 2000)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	return w
+}
+
+func BenchmarkAblationSamplingAlias(b *testing.B) {
+	s, err := stats.NewAliasSampler(benchSamplerWeights(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng)
+	}
+}
+
+func BenchmarkAblationSamplingCDF(b *testing.B) {
+	s, err := stats.NewCDFSampler(benchSamplerWeights(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng)
+	}
+}
+
+// --- Scheme perturbation throughput (records/op) ---
+
+func BenchmarkPerturbThroughputDetGD(b *testing.B) {
+	_, census, _ := benchBundles(b)
+	m, err := core.NewGammaDiagonal(census.DB.Schema.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PerturbDatabase(census.DB, p, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(census.DB.N()), "records/op")
+}
+
+func BenchmarkPerturbThroughputMask(b *testing.B) {
+	_, census, _ := benchBundles(b)
+	bm, err := core.NewBoolMapping(census.DB.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := core.NewMaskSchemeForPrivacy(bm, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sch.PerturbDatabase(census.DB, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(census.DB.N()), "records/op")
+}
+
+func BenchmarkPerturbThroughputCutPaste(b *testing.B) {
+	_, census, _ := benchBundles(b)
+	bm, err := core.NewBoolMapping(census.DB.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := core.NewCutPasteScheme(bm, 3, 0.494)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sch.PerturbDatabase(census.DB, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(census.DB.N()), "records/op")
+}
+
+// BenchmarkMiningReconstruction isolates the miner-side cost: Apriori
+// with gamma reconstruction over a pre-perturbed CENSUS database.
+func BenchmarkMiningReconstruction(b *testing.B) {
+	cfg, census, _ := benchBundles(b)
+	m, err := core.NewGammaDiagonal(census.DB.Schema.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdb, err := core.PerturbDatabase(census.DB, p, rand.New(rand.NewSource(10)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := mining.NewGammaCounter(pdb, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mining.Apriori(counter, cfg.MinSupport); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension benches: classification and the collection service ---
+
+// BenchmarkPrivateNaiveBayesTrain measures training the Naive Bayes
+// classifier from gamma-perturbed CENSUS data (reconstruction included).
+func BenchmarkPrivateNaiveBayesTrain(b *testing.B) {
+	_, census, _ := benchBundles(b)
+	m, err := core.NewGammaDiagonal(census.DB.Schema.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdb, err := core.PerturbDatabase(census.DB, p, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classify.TrainPerturbed(pdb, m, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceSubmit measures the HTTP submission path end to end
+// (client-side perturbation + POST + server-side validation/storage).
+func BenchmarkServiceSubmit(b *testing.B) {
+	srv, err := service.NewServer(dataset.CensusSchema(), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := service.NewClient(ts.URL, service.WithHTTPClient(ts.Client()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	rec := dataset.Record{0, 1, 1, 0, 1, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Submit(rec, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCounterScan vs BenchmarkAblationCounterMaterialized:
+// the per-query database-scanning counter against the incrementally
+// materialized counter, for repeated mining of the same collection (the
+// service's workload). Materialization pays O(M·2^M) per insert to make
+// each mining query O(candidates).
+func BenchmarkAblationCounterScan(b *testing.B) {
+	cfg, census, _ := benchBundles(b)
+	m, err := core.NewGammaDiagonal(census.DB.Schema.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdb, err := core.PerturbDatabase(census.DB, p, rand.New(rand.NewSource(13)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := mining.NewGammaCounter(pdb, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mining.Apriori(counter, cfg.MinSupport); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCounterMaterialized(b *testing.B) {
+	cfg, census, _ := benchBundles(b)
+	m, err := core.NewGammaDiagonal(census.DB.Schema.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdb, err := core.PerturbDatabase(census.DB, p, rand.New(rand.NewSource(13)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := mining.NewMaterializedGammaCounter(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := counter.AddDatabase(pdb); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mining.Apriori(counter, cfg.MinSupport); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaterializedInsert isolates the per-record ingestion cost of
+// the materialized counter (the price of instant mining).
+func BenchmarkMaterializedInsert(b *testing.B) {
+	_, census, _ := benchBundles(b)
+	m, err := core.NewGammaDiagonal(census.DB.Schema.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := mining.NewMaterializedGammaCounter(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := dataset.Record{0, 1, 1, 0, 1, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := counter.Add(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerturbParallel vs the serial DET-GD throughput bench:
+// client-side perturbation across a worker pool.
+func BenchmarkPerturbParallel(b *testing.B) {
+	_, census, _ := benchBundles(b)
+	m, err := core.NewGammaDiagonal(census.DB.Schema.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(census.DB.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PerturbDatabaseParallel(census.DB, p, int64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(census.DB.N()), "records/op")
+}

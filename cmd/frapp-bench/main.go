@@ -1,0 +1,279 @@
+// Command frapp-bench regenerates every table and figure of the FRAPP
+// paper's evaluation (Section 7) on the synthetic CENSUS and HEALTH
+// datasets.
+//
+// Usage:
+//
+//	frapp-bench [-exp all|table1|table2|table3|fig1|fig2|fig3|fig4|params]
+//	            [-quick] [-census-n N] [-health-n N] [-seed S]
+//	            [-minsup F] [-steps K]
+//
+// Each experiment prints a text rendering of the corresponding paper
+// artifact. -quick shrinks the datasets for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig1, fig2, fig3, fig4, params, recon, classify, relax, gammasweep")
+		quick   = flag.Bool("quick", false, "use reduced dataset sizes for a fast smoke run")
+		censusN = flag.Int("census-n", 0, "override CENSUS record count (default 50000, 8000 with -quick)")
+		healthN = flag.Int("health-n", 0, "override HEALTH record count (default 100000, 8000 with -quick)")
+		seed    = flag.Int64("seed", 0, "override random seed (default 2005)")
+		minsup  = flag.Float64("minsup", 0, "override minimum support (default 0.02)")
+		steps   = flag.Int("steps", 11, "number of alpha sweep steps for fig3")
+		trials  = flag.Int("trials", 1, "if > 1, average fig1/fig2 over this many perturbation trials (mean±std)")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *quick {
+		cfg = experiment.QuickConfig()
+	}
+	if *censusN > 0 {
+		cfg.CensusN = *censusN
+	}
+	if *healthN > 0 {
+		cfg.HealthN = *healthN
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *minsup > 0 {
+		cfg.MinSupport = *minsup
+	}
+	if err := run(*exp, cfg, *steps, *trials); err != nil {
+		fmt.Fprintln(os.Stderr, "frapp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiment.Config, steps, trials int) error {
+	gamma, err := cfg.Gamma()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("FRAPP evaluation — (rho1,rho2)=(%.0f%%,%.0f%%) gamma=%.4g supmin=%.2g census-n=%d health-n=%d seed=%d\n\n",
+		cfg.Privacy.Rho1*100, cfg.Privacy.Rho2*100, gamma, cfg.MinSupport, cfg.CensusN, cfg.HealthN, cfg.Seed)
+
+	needCensus := exp == "all" || exp == "table3" || exp == "fig1" || exp == "fig3" || exp == "fig4" || exp == "recon" || exp == "relax" || exp == "gammasweep"
+	needHealth := exp == "all" || exp == "table3" || exp == "fig2" || exp == "fig3" || exp == "fig4" || exp == "classify"
+
+	var census, health *experiment.Bundle
+	if needCensus {
+		t0 := time.Now()
+		census, err = experiment.LoadCensus(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[prep] CENSUS: %d records, truth %v (%s)\n", census.DB.N(), census.Truth.Counts(), time.Since(t0).Round(time.Millisecond))
+	}
+	if needHealth {
+		t0 := time.Now()
+		health, err = experiment.LoadHealth(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[prep] HEALTH: %d records, truth %v (%s)\n", health.DB.N(), health.Truth.Counts(), time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Println()
+
+	section := func(name string, f func() error) error {
+		t0 := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("(%s)\n\n", time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+
+	if want("table1") {
+		if err := section("Table 1 — CENSUS schema", func() error {
+			fmt.Print(experiment.Table1())
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		if err := section("Table 2 — HEALTH schema", func() error {
+			fmt.Print(experiment.Table2())
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table3") {
+		if err := section("Table 3 — frequent itemsets", func() error {
+			fmt.Print(experiment.Table3(census, health, cfg))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("params") {
+		if err := section("Derived scheme parameters", func() error { return printParams(cfg, gamma) }); err != nil {
+			return err
+		}
+	}
+	accuracy := func(b *experiment.Bundle) error {
+		if trials > 1 {
+			fig, err := experiment.AveragedAccuracyStudy(b, cfg, trials)
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig)
+			return nil
+		}
+		fig, err := experiment.AccuracyStudy(b, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig)
+		return nil
+	}
+	if want("fig1") {
+		if err := section("Figure 1 — CENSUS accuracy", func() error { return accuracy(census) }); err != nil {
+			return err
+		}
+	}
+	if want("fig2") {
+		if err := section("Figure 2 — HEALTH accuracy", func() error { return accuracy(health) }); err != nil {
+			return err
+		}
+	}
+	if want("fig3") {
+		if err := section("Figure 3 — randomization tradeoff", func() error {
+			for _, b := range []*experiment.Bundle{census, health} {
+				target := 4
+				if b.MaxLen() < target {
+					target = b.MaxLen()
+				}
+				fig, err := experiment.RandomizationStudy(b, cfg, steps, target)
+				if err != nil {
+					return err
+				}
+				fmt.Print(fig)
+				fmt.Println()
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("recon") {
+		if err := section("Theorem 1 — reconstruction error study (CENSUS)", func() error {
+			pts, err := experiment.ReconstructionStudy(census, cfg, 5)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatReconstruction("CENSUS", pts))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("classify") {
+		if err := section("Extension — privacy-preserving Naive Bayes (HEALTH)", func() error {
+			res, err := experiment.ClassifyStudy(health, cfg, health.DB.Schema.M()-1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("gammasweep") {
+		if err := section("Extension — DET-GD accuracy vs privacy level (CENSUS)", func() error {
+			specs := []core.PrivacySpec{
+				{Rho1: 0.05, Rho2: 0.30},
+				{Rho1: 0.05, Rho2: 0.50}, // the paper's setting
+				{Rho1: 0.05, Rho2: 0.70},
+				{Rho1: 0.05, Rho2: 0.90},
+			}
+			pts, err := experiment.GammaSweepStudy(census, cfg, specs)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatGammaSweep("CENSUS", pts))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("relax") {
+		if err := section("Extension — Apriori candidate-relaxation ablation (CENSUS)", func() error {
+			pts, err := experiment.RelaxationStudy(census, cfg, []float64{1.0, 0.8, 0.6, 0.4})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatRelaxation("CENSUS", pts))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		if err := section("Figure 4 — condition numbers", func() error {
+			for _, b := range []*experiment.Bundle{census, health} {
+				fig, err := experiment.ConditionStudy(b, cfg, b.DB.Schema.M())
+				if err != nil {
+					return err
+				}
+				fmt.Print(fig)
+				fmt.Println()
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printParams(cfg experiment.Config, gamma float64) error {
+	for _, sc := range []*dataset.Schema{dataset.CensusSchema(), dataset.HealthSchema()} {
+		p, err := core.MaskPForGamma(sc.M(), gamma)
+		if err != nil {
+			return err
+		}
+		bm, err := core.NewBoolMapping(sc)
+		if err != nil {
+			return err
+		}
+		cnp, err := core.NewCutPasteScheme(bm, cfg.CnPK, cfg.CnPRho)
+		if err != nil {
+			return err
+		}
+		gd, err := core.NewGammaDiagonal(sc.DomainSize(), gamma)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7s |S_U|=%-6d Mb=%-3d gamma-diagonal cond=%.4g  MASK p=%.4f (amp=%.4g)  C&P K=%d rho=%.3f (amp=%.4g)\n",
+			sc.Name, sc.DomainSize(), bm.Mb, gd.Cond(), p,
+			func() float64 {
+				m, err := core.NewMaskScheme(bm, p)
+				if err != nil {
+					return -1
+				}
+				return m.Amplification()
+			}(),
+			cnp.K, cnp.Rho, cnp.Amplification())
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunLightweightExperiments(t *testing.T) {
+	silenceStdout(t)
+	cfg := experiment.QuickConfig()
+	for _, exp := range []string{"table1", "table2", "params"} {
+		if err := run(exp, cfg, 3, 1); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunDataExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("data experiments are slow")
+	}
+	silenceStdout(t)
+	cfg := experiment.QuickConfig()
+	for _, exp := range []string{"table3", "fig4", "recon"} {
+		if err := run(exp, cfg, 3, 1); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	silenceStdout(t)
+	cfg := experiment.QuickConfig()
+	cfg.MinSupport = -1
+	// Lightweight experiments don't need bundles, but the gamma
+	// derivation still validates the privacy spec.
+	cfg.Privacy.Rho1 = 0.9
+	if err := run("table1", cfg, 3, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

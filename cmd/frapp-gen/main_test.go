@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunGeneratesReadableCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "census.csv")
+	if err := run("census", 120, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db, err := dataset.ReadCSV(f, dataset.CensusSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 120 {
+		t.Fatalf("generated %d records", db.N())
+	}
+}
+
+func TestRunHealthDefaultsAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "health.csv")
+	if err := run("health", 50, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "AGE,") {
+		t.Fatalf("unexpected header: %.40s", data)
+	}
+	if err := run("bogus", 10, 1, out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run("census", 10, 1, filepath.Join(dir, "missing", "x.csv")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

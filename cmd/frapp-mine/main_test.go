@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	db, err := dataset.GenerateCensus(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "in.csv")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, db); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// silenceStdout redirects the command's report to /dev/null for the
+// duration of the test.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunExactWithRules(t *testing.T) {
+	in := writeInput(t)
+	silenceStdout(t)
+	if err := run("census", in, 0.05, "exact", 0.05, 0.50, 0.8, 3, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGammaMode(t *testing.T) {
+	in := writeInput(t)
+	silenceStdout(t)
+	if err := run("census", in, 0.05, "gamma", 0.05, 0.50, 0, 3, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	in := writeInput(t)
+	silenceStdout(t)
+	if err := run("census", "", 0.05, "exact", 0.05, 0.5, 0, 3, false); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run("bogus", in, 0.05, "exact", 0.05, 0.5, 0, 3, false); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if err := run("census", in, 0.05, "bogus", 0.05, 0.5, 0, 3, false); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run("census", in, 0.05, "gamma", 0.5, 0.05, 0, 3, false); err == nil {
+		t.Fatal("inverted privacy accepted")
+	}
+	if err := run("census", "/nonexistent/x.csv", 0.05, "exact", 0.05, 0.5, 0, 3, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

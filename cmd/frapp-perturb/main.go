@@ -1,0 +1,177 @@
+// Command frapp-perturb applies a FRAPP perturbation mechanism to a
+// categorical CSV database, producing the distorted database a client
+// population would submit to the miner.
+//
+// Usage:
+//
+//	frapp-perturb -schema census|health -in data.csv [-out out.csv]
+//	              [-scheme det-gd|ran-gd|mask|cnp]
+//	              [-rho1 0.05] [-rho2 0.50] [-alpha 0.5]
+//	              [-cnp-k 3] [-cnp-rho 0.494] [-seed S]
+//
+// det-gd and ran-gd emit categorical CSV in the input schema. mask and
+// cnp perturb the boolean encoding, so their output is one line per
+// record listing the boolean items present as attr=category tokens.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		schemaName = flag.String("schema", "census", "schema of the input: census or health")
+		in         = flag.String("in", "", "input CSV (required)")
+		out        = flag.String("out", "", "output file (default stdout)")
+		scheme     = flag.String("scheme", "det-gd", "perturbation scheme: det-gd, ran-gd, mask, cnp")
+		rho1       = flag.Float64("rho1", 0.05, "privacy prior bound rho1")
+		rho2       = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
+		alpha      = flag.Float64("alpha", 0.5, "ran-gd randomization amplitude as a fraction of gamma*x")
+		cnpK       = flag.Int("cnp-k", 3, "C&P cut parameter K")
+		cnpRho     = flag.Float64("cnp-rho", 0.494, "C&P paste probability rho")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*schemaName, *in, *out, *scheme, *rho1, *rho2, *alpha, *cnpK, *cnpRho, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "frapp-perturb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemaName, in, out, scheme string, rho1, rho2, alpha float64, cnpK int, cnpRho float64, seed int64) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	sc, err := schemaByName(schemaName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := dataset.ReadCSV(f, sc)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	gamma, err := (core.PrivacySpec{Rho1: rho1, Rho2: rho2}).Gamma()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	switch scheme {
+	case "det-gd", "ran-gd":
+		m, err := core.NewGammaDiagonal(sc.DomainSize(), gamma)
+		if err != nil {
+			return err
+		}
+		var p core.Perturber
+		if scheme == "det-gd" {
+			p, err = core.NewGammaPerturber(sc, m)
+		} else {
+			p, err = core.NewRandomizedGammaPerturber(sc, m, alpha*m.Diag)
+		}
+		if err != nil {
+			return err
+		}
+		pdb, err := core.PerturbDatabase(db, p, rng)
+		if err != nil {
+			return err
+		}
+		return dataset.WriteCSV(w, pdb)
+
+	case "mask", "cnp":
+		bm, err := core.NewBoolMapping(sc)
+		if err != nil {
+			return err
+		}
+		var bdb *core.BoolDatabase
+		if scheme == "mask" {
+			s, err := core.NewMaskSchemeForPrivacy(bm, gamma)
+			if err != nil {
+				return err
+			}
+			bdb, err = s.PerturbDatabase(db, rng)
+			if err != nil {
+				return err
+			}
+		} else {
+			s, err := core.NewCutPasteScheme(bm, cnpK, cnpRho)
+			if err != nil {
+				return err
+			}
+			bdb, err = s.PerturbDatabase(db, rng)
+			if err != nil {
+				return err
+			}
+		}
+		return writeBoolDB(w, bdb)
+
+	default:
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+}
+
+func schemaByName(name string) (*dataset.Schema, error) {
+	switch name {
+	case "census":
+		return dataset.CensusSchema(), nil
+	case "health":
+		return dataset.HealthSchema(), nil
+	default:
+		return nil, fmt.Errorf("unknown schema %q (want census or health)", name)
+	}
+}
+
+// writeBoolDB emits one line per record listing the present boolean items
+// as attribute=category tokens separated by spaces.
+func writeBoolDB(w io.Writer, bdb *core.BoolDatabase) error {
+	bw := bufio.NewWriter(w)
+	sc := bdb.Mapping.Schema
+	for _, row := range bdb.Rows {
+		first := true
+		for j, a := range sc.Attrs {
+			for v := 0; v < a.Cardinality(); v++ {
+				bit, err := bdb.Mapping.Bit(j, v)
+				if err != nil {
+					return err
+				}
+				if row&(1<<uint(bit)) == 0 {
+					continue
+				}
+				if !first {
+					if _, err := bw.WriteString(" "); err != nil {
+						return err
+					}
+				}
+				first = false
+				if _, err := fmt.Fprintf(bw, "%s=%s", a.Name, a.Categories[v]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

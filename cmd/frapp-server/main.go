@@ -1,0 +1,100 @@
+// Command frapp-server runs the miner-side FRAPP collection service:
+// clients fetch /v1/schema, perturb locally, POST /v1/submit, and anyone
+// can query /v1/mine for the reconstructed model.
+//
+// Usage:
+//
+//	frapp-server [-addr :8080] [-schema census|health]
+//	             [-rho1 0.05] [-rho2 0.50] [-state state.gob]
+//
+// With -state, the accumulated (perturbed) counts are restored at start
+// and persisted atomically on SIGINT/SIGTERM, so a restart loses no
+// submissions. The state file contains only perturbed marginal counts —
+// no raw record ever reaches the server in the FRAPP trust model.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		schemaName = flag.String("schema", "census", "published schema: census or health")
+		rho1       = flag.Float64("rho1", 0.05, "privacy prior bound rho1")
+		rho2       = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
+		state      = flag.String("state", "", "state file for restart durability (optional)")
+	)
+	flag.Parse()
+	if err := run(*addr, *schemaName, *rho1, *rho2, *state); err != nil {
+		fmt.Fprintln(os.Stderr, "frapp-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, schemaName string, rho1, rho2 float64, statePath string) error {
+	var sc *dataset.Schema
+	switch schemaName {
+	case "census":
+		sc = dataset.CensusSchema()
+	case "health":
+		sc = dataset.HealthSchema()
+	default:
+		return fmt.Errorf("unknown schema %q", schemaName)
+	}
+	spec := core.PrivacySpec{Rho1: rho1, Rho2: rho2}
+
+	var (
+		srv *service.Server
+		err error
+	)
+	if statePath != "" {
+		srv, err = service.NewServerWithState(sc, spec, statePath)
+	} else {
+		srv, err = service.NewServer(sc, spec)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("frapp-server: schema=%s records=%d listening on %s", sc.Name, srv.N(), addr)
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		log.Printf("frapp-server: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("frapp-server: shutdown: %v", err)
+		}
+	}
+	if statePath != "" {
+		if err := srv.PersistStateFile(statePath); err != nil {
+			return fmt.Errorf("persisting state: %w", err)
+		}
+		log.Printf("frapp-server: state persisted to %s (%d records)", statePath, srv.N())
+	}
+	return nil
+}

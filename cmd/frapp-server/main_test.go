@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(":0", "bogus", 0.05, 0.5, ""); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if err := run(":0", "census", 0.5, 0.05, ""); err == nil {
+		t.Fatal("inverted privacy spec accepted")
+	}
+}
+
+func TestRunRejectsCorruptState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(":0", "census", 0.05, 0.5, path); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}

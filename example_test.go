@@ -1,0 +1,93 @@
+package frapp_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	frapp "repro"
+)
+
+// Example shows the minimal FRAPP flow: derive the optimal perturbation
+// matrix from a privacy requirement, perturb client-side, and mine with
+// reconstruction.
+func Example() {
+	db, err := frapp.GenerateCensus(30000, 1)
+	if err != nil {
+		panic(err)
+	}
+	pipe, err := frapp.NewPipeline(db.Schema, frapp.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gamma = %.0f\n", pipe.Gamma())
+	fmt.Printf("condition number = %.1f\n", pipe.ConditionNumber())
+
+	perturbed, err := pipe.Perturb(db, rand.New(rand.NewSource(2)))
+	if err != nil {
+		panic(err)
+	}
+	result, err := pipe.Mine(perturbed, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("frequent itemset lengths mined: %d\n", len(result.Counts()))
+	// Output:
+	// gamma = 19
+	// condition number = 112.1
+	// frequent itemset lengths mined: 6
+}
+
+// ExamplePrivacySpec_Gamma reproduces the paper's running example: a
+// (5%, 50%) amplification requirement implies γ = 19.
+func ExamplePrivacySpec_Gamma() {
+	gamma, err := frapp.PrivacySpec{Rho1: 0.05, Rho2: 0.50}.Gamma()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gamma = %.0f\n", gamma)
+	// Output:
+	// gamma = 19
+}
+
+// ExampleNewGammaDiagonal shows the Section 3 optimal matrix and its
+// closed-form condition number (γ+n−1)/(γ−1).
+func ExampleNewGammaDiagonal() {
+	m, err := frapp.NewGammaDiagonal(2000, 19)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("diagonal = gamma*x = %.6f\n", m.Diag)
+	fmt.Printf("off-diagonal = x = %.6f\n", m.Off)
+	fmt.Printf("condition number = %.1f\n", m.Cond())
+	// Output:
+	// diagonal = gamma*x = 0.009415
+	// off-diagonal = x = 0.000496
+	// condition number = 112.1
+}
+
+// ExamplePosteriorRange shows the Section 4.1 randomized-matrix privacy
+// analysis: at α = γx/2 the miner can only bound the posterior within
+// [33%, 60%] instead of pinning it at 50%.
+func ExamplePosteriorRange() {
+	const gamma, n = 19.0, 2000
+	x := 1 / (gamma + float64(n) - 1)
+	lo, hi, err := frapp.PosteriorRange(gamma, n, 0.05, gamma*x/2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("posterior range: [%.0f%%, %.0f%%]\n", lo*100, hi*100)
+	// Output:
+	// posterior range: [33%, 60%]
+}
+
+// ExampleMaskPForGamma reproduces the Section 7 MASK parameter
+// derivation for both evaluation datasets.
+func ExampleMaskPForGamma() {
+	pCensus, _ := frapp.MaskPForGamma(6, 19)
+	pHealth, _ := frapp.MaskPForGamma(7, 19)
+	fmt.Printf("CENSUS p = %.4f\n", pCensus)
+	fmt.Printf("HEALTH p = %.4f\n", pHealth)
+	// Output:
+	// CENSUS p = 0.5610
+	// HEALTH p = 0.5524
+}

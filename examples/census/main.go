@@ -1,0 +1,102 @@
+// Census study: reproduces the paper's headline comparison (Figure 1) in
+// miniature using only the public API — the gamma-diagonal scheme versus
+// the MASK and Cut-and-Paste baselines on the CENSUS dataset, all at the
+// same strict privacy level γ = 19.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	frapp "repro"
+)
+
+const (
+	nRecords = 30000
+	minSup   = 0.02
+)
+
+func main() {
+	db, err := frapp.GenerateCensus(nRecords, 2005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	priv := frapp.PrivacySpec{Rho1: 0.05, Rho2: 0.50}
+	gamma, err := priv.Gamma()
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := frapp.Apriori(&frapp.ExactCounter{DB: db}, minSup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CENSUS n=%d, gamma=%.4g, true itemset counts %v\n\n", db.N(), gamma, truth.Counts())
+
+	// --- DET-GD: the paper's optimal mechanism ---------------------------
+	pipe, err := frapp.NewPipeline(db.Schema, priv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perturbed, err := pipe.Perturb(db, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	detMined, err := pipe.Mine(perturbed, minSup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("DET-GD", truth, detMined)
+
+	// --- MASK baseline ---------------------------------------------------
+	bm, err := frapp.NewBoolMapping(db.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mask, err := frapp.NewMaskSchemeForPrivacy(bm, gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maskDB, err := mask.PerturbDatabase(db, rand.New(rand.NewSource(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	maskMined, err := frapp.Apriori(&frapp.MaskCounter{Perturbed: maskDB, Scheme: mask}, minSup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("MASK (p=%.4f)", mask.P), truth, maskMined)
+
+	// --- Cut-and-Paste baseline ------------------------------------------
+	cnp, err := frapp.NewCutPasteScheme(bm, 3, 0.494)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cnpDB, err := cnp.PerturbDatabase(db, rand.New(rand.NewSource(3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cnpMined, err := frapp.Apriori(&frapp.CutPasteCounter{Perturbed: cnpDB, Scheme: cnp}, minSup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("C&P (K=3, rho=0.494)", truth, cnpMined)
+}
+
+func report(name string, truth, mined *frapp.MiningResult) {
+	rep, err := frapp.EvaluateAccuracy(truth, mined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s — mined counts %v\n", name, mined.Counts())
+	fmt.Printf("  len   rho%%   sigma-%%  sigma+%%\n")
+	for _, le := range rep.Levels {
+		rho := "   n/a"
+		if !math.IsNaN(le.SupportError) {
+			rho = fmt.Sprintf("%6.1f", le.SupportError)
+		}
+		fmt.Printf("  %3d %s %8.1f %8.1f\n", le.Length, rho, le.FalseNegatives, le.FalsePositives)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,94 @@
+// Parameter study: the Section 4 privacy/accuracy tradeoff (Figure 3).
+// Sweeping the randomization amplitude α from 0 (deterministic DET-GD)
+// to γx shows the posterior-probability range the miner can determine
+// widening — more privacy — while the support reconstruction error grows
+// only marginally.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	frapp "repro"
+)
+
+const (
+	nRecords  = 30000
+	minSup    = 0.02
+	targetLen = 4 // the paper's Figure 3 itemset length
+	steps     = 6
+)
+
+func main() {
+	db, err := frapp.GenerateCensus(nRecords, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	priv := frapp.PrivacySpec{Rho1: 0.05, Rho2: 0.50}
+	gamma, err := priv.Gamma()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ground-truth frequent 4-itemsets, whose supports we re-estimate
+	// under every randomization level.
+	truth, err := frapp.Apriori(&frapp.ExactCounter{DB: db}, minSup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(truth.ByLength) < targetLen {
+		log.Fatalf("dataset has no frequent %d-itemsets", targetLen)
+	}
+	level := truth.ByLength[targetLen-1]
+	fmt.Printf("CENSUS n=%d, gamma=%.4g, %d true frequent %d-itemsets\n\n",
+		db.N(), gamma, len(level), targetLen)
+	fmt.Println("alpha/(gamma·x)   posterior range      support error (len-4)")
+
+	m, err := frapp.NewGammaDiagonal(db.Schema.DomainSize(), gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for step := 0; step < steps; step++ {
+		frac := float64(step) / float64(steps-1)
+		var pipe *frapp.Pipeline
+		if frac == 0 {
+			pipe, err = frapp.NewPipeline(db.Schema, priv)
+		} else {
+			pipe, err = frapp.NewPipeline(db.Schema, priv, frapp.WithRandomization(frac))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		perturbed, err := pipe.Perturb(db, rand.New(rand.NewSource(int64(step)+500)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		counter, err := frapp.NewGammaCounter(perturbed, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		targets := make([]frapp.Itemset, len(level))
+		for i, f := range level {
+			targets[i] = f.Items
+		}
+		est, err := counter.Supports(targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rho float64
+		for i, f := range level {
+			trueCount := f.Support * float64(db.N())
+			rho += math.Abs(est[i]-trueCount) / trueCount
+		}
+		rho = rho / float64(len(level)) * 100
+
+		lo, hi, err := pipe.WorstCasePosterior()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%15.2f   [%5.1f%%, %5.1f%%]     %8.1f%%\n", frac, lo*100, hi*100, rho)
+	}
+	fmt.Println("\nThe range widens (better privacy) while the error moves only slightly —")
+	fmt.Println("the Section 4 tradeoff the paper calls 'very much in our favour'.")
+}

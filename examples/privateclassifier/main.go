@@ -1,0 +1,76 @@
+// Private classifier: the paper's future-work direction ("extend our
+// modeling approach to other flavors of mining tasks") realized for
+// classification. A Naive Bayes model predicting self-reported health
+// status is trained entirely on gamma-perturbed records — the trainer
+// never sees a true record — and compared against the non-private model
+// and the majority-class floor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	frapp "repro"
+)
+
+const (
+	nTrain    = 80000
+	nTest     = 10000
+	classAttr = 6 // HEALTH status, the last attribute of Table 2
+)
+
+func main() {
+	// Disjoint train and test populations from the same distribution.
+	train, err := frapp.GenerateHealth(nTrain, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := frapp.GenerateHealth(nTest, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The test records share the train schema value so models built on
+	// one validate against the other.
+	test.Schema = train.Schema
+
+	priv := frapp.PrivacySpec{Rho1: 0.05, Rho2: 0.50}
+	pipe, err := frapp.NewPipeline(train.Schema, priv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicting %q from the other %d attributes; gamma=%.4g\n",
+		train.Schema.Attrs[classAttr].Name, train.Schema.M()-1, pipe.Gamma())
+
+	perturbed, err := pipe.Perturb(train, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact, err := frapp.TrainExactNaiveBayes(train, classAttr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	private, err := frapp.TrainPerturbedNaiveBayes(perturbed, pipe.Matrix(), classAttr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := frapp.MajorityBaseline(test, classAttr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accExact, err := frapp.ClassifierAccuracy(exact, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accPrivate, err := frapp.ClassifierAccuracy(private, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("majority-class baseline:     %.1f%%\n", base*100)
+	fmt.Printf("Naive Bayes on raw data:     %.1f%% (no privacy)\n", accExact*100)
+	fmt.Printf("Naive Bayes on perturbed:    %.1f%% (strict (5%%, 50%%) privacy)\n", accPrivate*100)
+	fmt.Printf("privacy cost:                %.1f points of accuracy\n", (accExact-accPrivate)*100)
+}

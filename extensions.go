@@ -1,0 +1,123 @@
+package frapp
+
+// Extension surfaces beyond the paper's core evaluation: privacy-
+// preserving classification (the paper's stated future-work direction),
+// the HTTP collection service realizing the client/miner trust model
+// over a network, and continuous-attribute discretization (the paper's
+// Section 1.1 conversion that produced the Tables 1–2 schemas).
+
+import (
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/query"
+	"repro/internal/service"
+)
+
+// Classification (see internal/classify).
+type (
+	// NaiveBayes is a categorical Naive Bayes model trainable on exact
+	// or gamma-perturbed data.
+	NaiveBayes = classify.NaiveBayes
+)
+
+var (
+	// TrainExactNaiveBayes fits on unperturbed data (non-private baseline).
+	TrainExactNaiveBayes = classify.TrainExact
+	// TrainPerturbedNaiveBayes fits on gamma-perturbed data via Eq. 28
+	// marginal reconstruction.
+	TrainPerturbedNaiveBayes = classify.TrainPerturbed
+	// ClassifierAccuracy scores a model on labeled data.
+	ClassifierAccuracy = classify.Accuracy
+	// MajorityBaseline is the trivial-classifier floor.
+	MajorityBaseline = classify.MajorityBaseline
+)
+
+// Collection service (see internal/service).
+type (
+	// CollectionServer is the miner-side HTTP endpoint.
+	CollectionServer = service.Server
+	// CollectionClient perturbs locally and submits over HTTP.
+	CollectionClient = service.Client
+	// MineResponse is the wire form of a mining query result.
+	MineResponse = service.MineResponse
+)
+
+var (
+	// NewCollectionServer configures the miner-side service.
+	NewCollectionServer = service.NewServer
+	// NewCollectionClient fetches the contract and prepares local
+	// perturbation.
+	NewCollectionClient = service.NewClient
+	// WithClientRandomization enables client-side RAN-GD.
+	WithClientRandomization = service.WithClientRandomization
+	// WithHTTPClient substitutes the client transport.
+	WithHTTPClient = service.WithHTTPClient
+)
+
+// Discretization (see internal/dataset).
+type (
+	// Binner maps a continuous column to category indices.
+	Binner = dataset.Binner
+)
+
+var (
+	// NewEquiWidthBinner is the paper's fixed-length-interval partitioning.
+	NewEquiWidthBinner = dataset.NewEquiWidthBinner
+	// NewQuantileBinner balances bin mass on skewed columns.
+	NewQuantileBinner = dataset.NewQuantileBinner
+	// Discretize converts a continuous table into a categorical Database.
+	Discretize = dataset.Discretize
+	// Split randomly partitions a database into train and test sets.
+	Split = dataset.Split
+	// Sample draws a uniform subsample without replacement.
+	Sample = dataset.Sample
+	// StratifiedSplit preserves class shares across the split.
+	StratifiedSplit = dataset.StratifiedSplit
+)
+
+// MiningOptions tunes Apriori; see AprioriWithOptions.
+type MiningOptions = mining.Options
+
+var (
+	// AprioriWithOptions exposes the candidate-relaxation extension for
+	// noisy reconstructed supports.
+	AprioriWithOptions = mining.AprioriWithOptions
+	// BreachProbability is P(posterior > threshold) under RAN-GD
+	// randomization (Section 4.1's distributional privacy statement).
+	BreachProbability = core.BreachProbability
+)
+
+// Condensed itemset representations (see internal/mining).
+var (
+	// MaximalItemsets returns the frequent itemsets with no frequent
+	// proper superset.
+	MaximalItemsets = mining.Maximal
+	// ClosedItemsets returns the frequent itemsets with no equal-support
+	// frequent superset.
+	ClosedItemsets = mining.Closed
+)
+
+// MaterializedCounter incrementally maintains every marginal histogram
+// so repeated mining queries never rescan submissions.
+type MaterializedCounter = mining.MaterializedGammaCounter
+
+// NewMaterializedCounter builds the incremental counter.
+var NewMaterializedCounter = mining.NewMaterializedGammaCounter
+
+// PerturbDatabaseParallel perturbs with a worker pool; deterministic in
+// (database, perturber, seed, workers).
+var PerturbDatabaseParallel = core.PerturbDatabaseParallel
+
+// Interactive queries (see internal/query).
+type (
+	// QueryEngine answers filter-count queries over a perturbed database
+	// with variance-based confidence intervals.
+	QueryEngine = query.Engine
+	// CountEstimate is a reconstructed count with its 95% CI.
+	CountEstimate = query.Estimate
+)
+
+// NewQueryEngine builds the engine for one perturbed database.
+var NewQueryEngine = query.NewEngine

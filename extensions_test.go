@@ -1,0 +1,159 @@
+package frapp
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestFacadeClassifier(t *testing.T) {
+	train, err := GenerateCensus(20000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := GenerateCensus(4000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test.Schema = train.Schema
+	const classAttr = 4 // sex
+
+	pipe, err := NewPipeline(train.Schema, PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := pipe.Perturb(train, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := TrainPerturbedNaiveBayes(perturbed, pipe.Matrix(), classAttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ClassifierAccuracy(nb, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MajorityBaseline(test, classAttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The perturbed-trained model must be usable: within a reasonable
+	// band of (or above) the majority baseline, never degenerate.
+	if acc < base-0.15 {
+		t.Fatalf("private classifier accuracy %v far below baseline %v", acc, base)
+	}
+	exact, err := TrainExactNaiveBayes(train, classAttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accExact, err := ClassifierAccuracy(exact, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive Bayes may trail the majority rule slightly on a weakly
+	// predictive class; the private model must stay close to the exact
+	// one — that is the property this facade test pins down.
+	if accExact-acc > 0.10 {
+		t.Fatalf("private classifier %v too far below exact %v", acc, accExact)
+	}
+}
+
+func TestFacadeCollectionService(t *testing.T) {
+	srv, err := NewCollectionServer(CensusSchema(), PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := NewCollectionClient(ts.URL, WithHTTPClient(ts.Client()), WithClientRandomization(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := GenerateCensus(500, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := client.SubmitBatch(db.Records, rng); err != nil {
+		t.Fatal(err)
+	}
+	if srv.N() != 500 {
+		t.Fatalf("server holds %d records", srv.N())
+	}
+	mr, err := client.Mine(0.2, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Records != 500 {
+		t.Fatalf("mine response %+v", mr)
+	}
+}
+
+func TestFacadeDiscretize(t *testing.T) {
+	age, err := NewEquiWidthBinner("age", 15, 75, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hours, err := NewQuantileBinner("hours", []float64{10, 20, 30, 40, 50, 60, 70, 80}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Discretize("survey", []*Binner{age, hours}, [][]float64{
+		{22, 35}, {64, 60}, {40, 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 3 {
+		t.Fatalf("N = %d", db.N())
+	}
+	// The discretized database runs through the full pipeline.
+	pipe, err := NewPipeline(db.Schema, PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Perturb(db, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeQueryEngine(t *testing.T) {
+	db, err := GenerateCensus(30000, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline(db.Schema, PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := pipe.PerturbParallel(db, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(perturbed, pipe.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "How many records have sex=Female?" with an error bar.
+	filter, err := NewItemset(Item{Attr: 4, Value: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := eng.Count(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, rec := range db.Records {
+		if rec[4] == 0 {
+			truth++
+		}
+	}
+	if est.StdErr <= 0 {
+		t.Fatal("no error bar")
+	}
+	if truth < est.Count-5*est.StdErr || truth > est.Count+5*est.StdErr {
+		t.Fatalf("truth %v outside 5-sigma band of %v ± %v", truth, est.Count, est.StdErr)
+	}
+}

@@ -1,0 +1,210 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// learnableSchema has a class attribute (last) strongly predicted by the
+// first two attributes.
+func learnableSchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	s, err := dataset.NewSchema("learnable", []dataset.Attribute{
+		{Name: "f1", Categories: []string{"a", "b", "c"}},
+		{Name: "f2", Categories: []string{"x", "y"}},
+		{Name: "noise", Categories: []string{"n0", "n1", "n2"}},
+		{Name: "class", Categories: []string{"neg", "pos"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// genLearnable draws records where class = pos iff f1==a XOR-ish with f2,
+// with 10% label noise, plus an irrelevant attribute.
+func genLearnable(t *testing.T, s *dataset.Schema, n int, seed int64) *dataset.Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := dataset.NewDatabase(s, n)
+	for i := 0; i < n; i++ {
+		f1 := rng.Intn(3)
+		f2 := rng.Intn(2)
+		class := 0
+		if f1 == 0 || f2 == 1 {
+			class = 1
+		}
+		if rng.Float64() < 0.1 {
+			class = 1 - class
+		}
+		rec := dataset.Record{f1, f2, rng.Intn(3), class}
+		if err := db.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestExactNaiveBayesLearns(t *testing.T) {
+	s := learnableSchema(t)
+	train := genLearnable(t, s, 20000, 1)
+	test := genLearnable(t, s, 5000, 2)
+	nb, err := TrainExact(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Classes() != 2 {
+		t.Fatalf("Classes = %d", nb.Classes())
+	}
+	acc, err := Accuracy(nb, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MajorityBaseline(test, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The concept is learnable to ~90% (label noise floor); baseline ~67%.
+	if acc < 0.85 {
+		t.Fatalf("exact NB accuracy %v too low", acc)
+	}
+	if acc <= base+0.05 {
+		t.Fatalf("exact NB accuracy %v does not beat majority %v", acc, base)
+	}
+}
+
+func TestPerturbedNaiveBayesApproachesExact(t *testing.T) {
+	s := learnableSchema(t)
+	train := genLearnable(t, s, 60000, 3)
+	test := genLearnable(t, s, 5000, 4)
+
+	// Moderate privacy on this small domain (|S_U| = 36): γ=19 keeps the
+	// condition number at (19+35)/18 = 3, so reconstruction is sharp.
+	m, err := core.NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := core.PerturbDatabase(train, p, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := TrainExact(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := TrainPerturbed(perturbed, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accExact, err := Accuracy(exact, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accPrivate, err := Accuracy(private, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MajorityBaseline(test, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accPrivate <= base+0.05 {
+		t.Fatalf("private NB %v does not beat majority %v", accPrivate, base)
+	}
+	if accExact-accPrivate > 0.05 {
+		t.Fatalf("private NB %v too far below exact %v", accPrivate, accExact)
+	}
+}
+
+func TestPerturbedNaiveBayesWithRandomizedMatrix(t *testing.T) {
+	s := learnableSchema(t)
+	train := genLearnable(t, s, 60000, 6)
+	test := genLearnable(t, s, 5000, 7)
+	m, err := core.NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewRandomizedGammaPerturber(s, m, m.Diag/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := core.PerturbDatabase(train, p, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := TrainPerturbed(perturbed, p.ExpectedMatrix(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(nb, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MajorityBaseline(test, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= base+0.05 {
+		t.Fatalf("RAN-GD-trained NB %v does not beat majority %v", acc, base)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	s := learnableSchema(t)
+	db := genLearnable(t, s, 100, 9)
+	if _, err := TrainExact(db, -1); !errors.Is(err, ErrClassify) {
+		t.Fatal("negative class attribute accepted")
+	}
+	if _, err := TrainExact(db, 9); !errors.Is(err, ErrClassify) {
+		t.Fatal("out-of-range class attribute accepted")
+	}
+	nb, err := TrainExact(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Predict(dataset.Record{0, 0}); !errors.Is(err, ErrClassify) {
+		t.Fatal("short record accepted")
+	}
+	if _, err := nb.Predict(dataset.Record{9, 0, 0, 0}); !errors.Is(err, ErrClassify) {
+		t.Fatal("out-of-range value accepted")
+	}
+	empty := dataset.NewDatabase(s, 0)
+	if _, err := Accuracy(nb, empty); !errors.Is(err, ErrClassify) {
+		t.Fatal("empty evaluation accepted")
+	}
+	if _, err := MajorityBaseline(empty, 3); !errors.Is(err, ErrClassify) {
+		t.Fatal("empty baseline accepted")
+	}
+	if _, err := MajorityBaseline(db, 9); err == nil {
+		t.Fatal("bad class attribute accepted by baseline")
+	}
+	wrongOrder, _ := core.NewGammaDiagonal(5, 19)
+	if _, err := TrainPerturbed(db, wrongOrder, 3); err == nil {
+		t.Fatal("matrix/domain mismatch accepted")
+	}
+}
+
+func TestSmoothHandlesNegativeCounts(t *testing.T) {
+	out := smooth([]float64{-5, 10, 0})
+	var total float64
+	for _, lp := range out {
+		total += math.Exp(lp)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("smoothed distribution sums to %v", total)
+	}
+	// The clamped negative must be the smallest probability.
+	if !(out[0] < out[1]) {
+		t.Fatal("negative count not clamped below positive count")
+	}
+}

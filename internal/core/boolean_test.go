@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestBoolMappingOffsets(t *testing.T) {
+	s := testSchema(t) // cards 3, 2, 4 → Mb = 9
+	m, err := NewBoolMapping(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mb != 9 {
+		t.Fatalf("Mb = %d, want 9", m.Mb)
+	}
+	if m.Offsets[0] != 0 || m.Offsets[1] != 3 || m.Offsets[2] != 5 {
+		t.Fatalf("offsets = %v", m.Offsets)
+	}
+	b, err := m.Bit(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 8 {
+		t.Fatalf("Bit(2,3) = %d, want 8", b)
+	}
+	if _, err := m.Bit(3, 0); err == nil {
+		t.Fatal("bad attribute accepted")
+	}
+	if _, err := m.Bit(0, 3); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestBoolEncodeDecode(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewBoolMapping(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := dataset.Record{2, 1, 0}
+	b, err := m.Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits.OnesCount64(b) != s.M() {
+		t.Fatalf("encoded record has %d ones, want %d", bits.OnesCount64(b), s.M())
+	}
+	back, err := m.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range rec {
+		if back[j] != rec[j] {
+			t.Fatalf("Decode(Encode(%v)) = %v", rec, back)
+		}
+	}
+	// A bitset with two values set for one attribute must be rejected.
+	if _, err := m.Decode(b | 1 | 2); err == nil {
+		t.Fatal("multi-bit attribute accepted")
+	}
+	if _, err := m.Decode(0); err == nil {
+		t.Fatal("empty bitset accepted")
+	}
+	if _, err := m.Encode(dataset.Record{9, 9, 9}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestBoolMappingPaperSizes(t *testing.T) {
+	cm, err := NewBoolMapping(dataset.CensusSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Mb != 23 {
+		t.Fatalf("CENSUS Mb = %d, want 23", cm.Mb)
+	}
+	hm, err := NewBoolMapping(dataset.HealthSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.Mb != 27 {
+		t.Fatalf("HEALTH Mb = %d, want 27", hm.Mb)
+	}
+}
+
+func TestBoolMappingOverflow(t *testing.T) {
+	attrs := make([]dataset.Attribute, 7)
+	for i := range attrs {
+		cats := make([]string, 10)
+		for c := range cats {
+			cats[c] = string(rune('a'+i)) + string(rune('0'+c))
+		}
+		attrs[i] = dataset.Attribute{Name: string(rune('a' + i)), Categories: cats}
+	}
+	s, err := dataset.NewSchema("wide", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBoolMapping(s); err == nil {
+		t.Fatal("Mb = 70 > 64 accepted")
+	}
+}
+
+func TestEncodeDatabase(t *testing.T) {
+	db, err := dataset.GenerateCensus(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb, err := EncodeDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdb.N() != 100 {
+		t.Fatalf("N = %d", bdb.N())
+	}
+	for i, row := range bdb.Rows {
+		if bits.OnesCount64(row) != db.Schema.M() {
+			t.Fatalf("row %d has %d ones", i, bits.OnesCount64(row))
+		}
+	}
+}
+
+func TestItemsetMask(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	mask, err := m.ItemsetMask([]int{0, 2}, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != (1<<1)|(1<<8) {
+		t.Fatalf("mask = %b", mask)
+	}
+	if _, err := m.ItemsetMask([]int{0}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := m.ItemsetMask([]int{0, 0}, []int{1, 1}); err == nil {
+		t.Fatal("duplicate item accepted")
+	}
+	if _, err := m.ItemsetMask([]int{5}, []int{0}); err == nil {
+		t.Fatal("bad attribute accepted")
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func cpScheme(t *testing.T, k int, rho float64) (*CutPasteScheme, *BoolMapping, *dataset.Schema) {
+	t.Helper()
+	s := testSchema(t)
+	m, err := NewBoolMapping(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewCutPasteScheme(m, k, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch, m, s
+}
+
+func TestCutPasteValidation(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	if _, err := NewCutPasteScheme(m, -1, 0.5); !errors.Is(err, ErrPerturb) {
+		t.Fatal("negative K accepted")
+	}
+	for _, rho := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := NewCutPasteScheme(m, 2, rho); !errors.Is(err, ErrPerturb) {
+			t.Errorf("rho = %v accepted", rho)
+		}
+	}
+}
+
+func TestSelectSizePMFSumsToOne(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 5, 10} {
+		for _, rho := range []float64{0.1, 0.494, 0.9} {
+			sch, _, _ := cpScheme(t, k, rho)
+			pmf := sch.SelectSizePMF()
+			var sum float64
+			for _, p := range pmf {
+				if p < -1e-12 {
+					t.Fatalf("K=%d rho=%v: negative mass %v", k, rho, p)
+				}
+				sum += p
+			}
+			if !approx(sum, 1, 1e-10) {
+				t.Fatalf("K=%d rho=%v: pmf sums to %v", k, rho, sum)
+			}
+		}
+	}
+}
+
+func TestSelectSizePMFMatchesSimulation(t *testing.T) {
+	// Simulate the operator steps 1–3 and compare the survivor-count
+	// distribution with the analytic p_M[z].
+	sch, _, s := cpScheme(t, 3, 0.494)
+	mAttr := s.M()
+	pmf := sch.SelectSizePMF()
+	rng := rand.New(rand.NewSource(42))
+	const trials = 300000
+	counts := make([]float64, mAttr+1)
+	for i := 0; i < trials; i++ {
+		w := rng.Intn(sch.K + 1)
+		if w > mAttr {
+			w = mAttr
+		}
+		z := w + stats.SampleBinomial(rng, mAttr-w, sch.Rho)
+		counts[z]++
+	}
+	for z := 0; z <= mAttr; z++ {
+		got := counts[z] / trials
+		sigma := math.Sqrt(pmf[z]*(1-pmf[z])/trials) + 1e-9
+		if math.Abs(got-pmf[z]) > 5*sigma {
+			t.Fatalf("p_M[%d]: simulated %v vs analytic %v", z, got, pmf[z])
+		}
+	}
+}
+
+func TestTransitionProbNormalizes(t *testing.T) {
+	// Σ over all possible outputs v of P(t→v) must be 1:
+	// Σ_s C(M,s)·p_M[s]/C(M,s) · Σ_o C(Mb−M,o) ρ^o(1−ρ)^(Mb−M−o) = 1·1.
+	sch, m, s := cpScheme(t, 2, 0.3)
+	mAttr, mb := s.M(), m.Mb
+	var total float64
+	for overlap := 0; overlap <= mAttr; overlap++ {
+		for outside := 0; outside <= mb-mAttr; outside++ {
+			p, err := sch.TransitionProb(overlap, outside)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += p * stats.Choose(mAttr, overlap) * stats.Choose(mb-mAttr, outside)
+		}
+	}
+	if !approx(total, 1, 1e-9) {
+		t.Fatalf("transition probabilities sum to %v", total)
+	}
+	if _, err := sch.TransitionProb(-1, 0); !errors.Is(err, ErrPerturb) {
+		t.Fatal("negative overlap accepted")
+	}
+	if _, err := sch.TransitionProb(0, 99); !errors.Is(err, ErrPerturb) {
+		t.Fatal("excess outside accepted")
+	}
+}
+
+func TestCutPastePaperParametersFeasible(t *testing.T) {
+	// Section 7: for γ=19, K=3 and ρ=0.494 are reported as the chosen
+	// C&P operating point (CENSUS, M=6). Verify the amplification
+	// constraint holds there.
+	s := dataset.CensusSchema()
+	m, err := NewBoolMapping(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewCutPasteScheme(m, 3, 0.494)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp := sch.Amplification()
+	if amp > 19*1.02 {
+		t.Fatalf("C&P amplification at paper parameters = %v, exceeds γ=19", amp)
+	}
+}
+
+func TestFindRhoForGamma(t *testing.T) {
+	s := dataset.CensusSchema()
+	m, _ := NewBoolMapping(s)
+	rho, err := FindRhoForGamma(m, 3, 19, 0.494)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.494) > 0.05 {
+		t.Fatalf("feasible rho near paper value: got %v", rho)
+	}
+	// Smallest-feasible mode returns something feasible too.
+	lo, err := FindRhoForGamma(m, 3, 19, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, _ := NewCutPasteScheme(m, 3, lo)
+	if sch.Amplification() > 19+1e-6 {
+		t.Fatalf("smallest feasible rho %v violates constraint", lo)
+	}
+}
+
+func TestPartialSupportMatrixStochastic(t *testing.T) {
+	sch, _, s := cpScheme(t, 3, 0.494)
+	for l := 0; l <= s.M(); l++ {
+		a, err := sch.PartialSupportMatrix(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.IsStochasticColumns(1e-9) {
+			t.Fatalf("l=%d partial support matrix not column-stochastic", l)
+		}
+	}
+	if _, err := sch.PartialSupportMatrix(-1); !errors.Is(err, ErrPerturb) {
+		t.Fatal("negative l accepted")
+	}
+	if _, err := sch.PartialSupportMatrix(s.M() + 1); !errors.Is(err, ErrPerturb) {
+		t.Fatal("oversize l accepted")
+	}
+}
+
+func TestPartialSupportMatrixMatchesOperator(t *testing.T) {
+	// Monte-Carlo the actual operator and compare the empirical
+	// q'→q transition frequencies with the analytic matrix.
+	sch, m, s := cpScheme(t, 2, 0.4)
+	// Itemset of length 2: {a=1, b=0}.
+	bitA, _ := m.Bit(0, 1)
+	bitB, _ := m.Bit(1, 0)
+	mask := uint64(1<<uint(bitA) | 1<<uint(bitB))
+	l := 2
+
+	// Original record {1, 0, 2} contains both items: q' = 2.
+	db := dataset.NewDatabase(s, 0)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if err := db.Append(dataset.Record{1, 0, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bdb, err := sch.PerturbDatabase(db, rand.New(rand.NewSource(55)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, l+1)
+	for _, row := range bdb.Rows {
+		counts[bits.OnesCount64(row&mask)]++
+	}
+	a, err := sch.PartialSupportMatrix(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q <= l; q++ {
+		got := counts[q] / n
+		want := a.At(q, l) // column q' = 2
+		sigma := math.Sqrt(want*(1-want)/n) + 1e-9
+		if math.Abs(got-want) > 5*sigma {
+			t.Fatalf("q'=2→q=%d: empirical %v vs analytic %v", q, got, want)
+		}
+	}
+}
+
+func TestPartialSupportMatrixMatchesOperatorPartialOverlap(t *testing.T) {
+	// q' = 1 case: record contains one of the two itemset items.
+	sch, m, s := cpScheme(t, 2, 0.4)
+	bitA, _ := m.Bit(0, 1)
+	bitB, _ := m.Bit(1, 0)
+	mask := uint64(1<<uint(bitA) | 1<<uint(bitB))
+
+	db := dataset.NewDatabase(s, 0)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		// {1, 1, 2}: contains a=1 but not b=0.
+		if err := db.Append(dataset.Record{1, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bdb, err := sch.PerturbDatabase(db, rand.New(rand.NewSource(56)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 3)
+	for _, row := range bdb.Rows {
+		counts[bits.OnesCount64(row&mask)]++
+	}
+	a, _ := sch.PartialSupportMatrix(2)
+	for q := 0; q <= 2; q++ {
+		got := counts[q] / n
+		want := a.At(q, 1)
+		sigma := math.Sqrt(want*(1-want)/n) + 1e-9
+		if math.Abs(got-want) > 5*sigma {
+			t.Fatalf("q'=1→q=%d: empirical %v vs analytic %v", q, got, want)
+		}
+	}
+}
+
+func TestCutPasteEstimateSupportRecovers(t *testing.T) {
+	sch, m, s := cpScheme(t, 2, 0.4)
+	db := dataset.NewDatabase(s, 0)
+	const n = 60000
+	const trueSupport = 24000
+	for i := 0; i < n; i++ {
+		if i < trueSupport {
+			if err := db.Append(dataset.Record{1, 0, 2}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := db.Append(dataset.Record{0, 1, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	bdb, err := sch.PerturbDatabase(db, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitA, _ := m.Bit(0, 1)
+	bitB, _ := m.Bit(1, 0)
+	est, err := sch.EstimateSupport(bdb, []int{bitA, bitB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-trueSupport) > 0.10*trueSupport {
+		t.Fatalf("estimated support %v, want ≈%d", est, trueSupport)
+	}
+	all, err := sch.EstimateSupport(bdb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != n {
+		t.Fatalf("empty itemset support %v", all)
+	}
+	if _, err := sch.EstimateSupport(bdb, []int{99}); !errors.Is(err, ErrPerturb) {
+		t.Fatal("bad bit accepted")
+	}
+}
+
+func TestCutPasteCondGrows(t *testing.T) {
+	s := dataset.CensusSchema()
+	m, _ := NewBoolMapping(s)
+	sch, err := NewCutPasteScheme(m, 3, 0.494)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for l := 1; l <= 6; l++ {
+		c, err := sch.Cond(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev {
+			t.Fatalf("C&P condition number not increasing at l=%d: %v < %v", l, c, prev)
+		}
+		prev = c
+	}
+	if prev < 1e3 {
+		t.Fatalf("C&P condition number at l=6 is %v; paper reports ~1e7 scale growth", prev)
+	}
+}
+
+func TestCutPastePerturbPreservesUniverse(t *testing.T) {
+	sch, m, s := cpScheme(t, 3, 0.494)
+	db := dataset.NewDatabase(s, 0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		if err := db.Append(dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bdb, err := sch.PerturbDatabase(db, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range bdb.Rows {
+		if row>>uint(m.Mb) != 0 {
+			t.Fatalf("row %d has bits beyond the universe", i)
+		}
+	}
+}

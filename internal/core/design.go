@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// This file makes FRAPP's central methodological move — "first design
+// matrices of the required type, then devise perturbation methods
+// compatible with the chosen matrices" (Section 3) — available as an
+// API: verify an arbitrary candidate matrix against a privacy spec,
+// compute the theoretical optimum it competes against, and generate
+// random constrained competitors for empirical comparison.
+
+// VerifyMatrix checks that a is a valid FRAPP perturbation matrix for
+// the spec: square, column-stochastic (Equation 1), and with row-entry
+// ratios within the spec's γ (Equation 2).
+func VerifyMatrix(a *linalg.Dense, spec PrivacySpec) error {
+	gamma, err := spec.Gamma()
+	if err != nil {
+		return err
+	}
+	if !a.IsSquare() {
+		r, c := a.Dims()
+		return fmt.Errorf("%w: %dx%d not square", ErrMatrix, r, c)
+	}
+	if !a.IsStochasticColumns(1e-9) {
+		return fmt.Errorf("%w: not column-stochastic (Equation 1)", ErrMatrix)
+	}
+	if amp := Amplification(a); amp > gamma*(1+1e-9) {
+		return fmt.Errorf("%w: amplification %v exceeds gamma %v (Equation 2)", ErrMatrix, amp, gamma)
+	}
+	return nil
+}
+
+// OptimalCond returns the Section 3 lower bound on the condition number
+// of any symmetric perturbation matrix of order n under the γ
+// constraint: (γ+n−1)/(γ−1). The gamma-diagonal matrix attains it.
+func OptimalCond(n int, gamma float64) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("%w: order %d", ErrMatrix, n)
+	}
+	if gamma <= 1 {
+		return 0, fmt.Errorf("%w: gamma %v", ErrMatrix, gamma)
+	}
+	return (gamma + float64(n) - 1) / (gamma - 1), nil
+}
+
+// RandomConstrainedMatrix draws a random symmetric column-stochastic
+// matrix satisfying the γ constraint, by applying random sum-preserving
+// symmetric perturbations to the gamma-diagonal matrix and keeping only
+// feasible steps. Useful for empirically probing the Section 3
+// optimality theorem and for ablation baselines.
+func RandomConstrainedMatrix(n int, gamma float64, steps int, rng *rand.Rand) (*linalg.Dense, error) {
+	gd, err := NewGammaDiagonal(n, gamma)
+	if err != nil {
+		return nil, err
+	}
+	a := gd.Dense()
+	for s := 0; s < steps; s++ {
+		i, j, l := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		if i == j || j == l || i == l {
+			continue
+		}
+		eps := (rng.Float64() - 0.5) * gd.Off * 0.5
+		// Symmetric update preserving all row and column sums:
+		// add eps to (i,j)&(j,i), subtract from (i,l),(l,i),(j,l),(l,j),
+		// add back on (j,j) and (l,l).
+		trial := a.Clone()
+		trial.Add(i, j, eps)
+		trial.Add(j, i, eps)
+		trial.Add(i, l, -eps)
+		trial.Add(l, i, -eps)
+		trial.Add(j, l, -eps)
+		trial.Add(l, j, -eps)
+		trial.Add(j, j, eps)
+		trial.Add(l, l, eps)
+		if !trial.IsStochasticColumns(1e-9) {
+			continue
+		}
+		if Amplification(trial) > gamma {
+			continue
+		}
+		a = trial
+	}
+	return a, nil
+}

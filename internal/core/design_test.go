@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestVerifyMatrixAcceptsGammaDiagonal(t *testing.T) {
+	spec := PrivacySpec{Rho1: 0.05, Rho2: 0.50}
+	m, err := NewGammaDiagonal(10, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMatrix(m.Dense(), spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMatrixRejections(t *testing.T) {
+	spec := PrivacySpec{Rho1: 0.05, Rho2: 0.50}
+	if err := VerifyMatrix(linalg.NewDense(2, 3), spec); !errors.Is(err, ErrMatrix) {
+		t.Fatal("non-square accepted")
+	}
+	bad, _ := linalg.NewDenseFrom(2, 2, []float64{0.9, 0.3, 0.3, 0.7})
+	if err := VerifyMatrix(bad, spec); !errors.Is(err, ErrMatrix) {
+		t.Fatal("non-stochastic accepted")
+	}
+	// Identity has infinite amplification: violates any finite gamma.
+	if err := VerifyMatrix(linalg.Identity(3), spec); !errors.Is(err, ErrMatrix) {
+		t.Fatal("identity accepted under finite gamma")
+	}
+	// A matrix satisfying gamma=39 but not gamma=19.
+	over, _ := NewGammaDiagonal(10, 39)
+	if err := VerifyMatrix(over.Dense(), spec); !errors.Is(err, ErrMatrix) {
+		t.Fatal("over-gamma matrix accepted")
+	}
+	if err := VerifyMatrix(over.Dense(), PrivacySpec{Rho1: 0.05, Rho2: 2}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestOptimalCond(t *testing.T) {
+	c, err := OptimalCond(2000, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(c, (19.0+1999)/18, 1e-12) {
+		t.Fatalf("OptimalCond = %v", c)
+	}
+	m, _ := NewGammaDiagonal(2000, 19)
+	if !approx(c, m.Cond(), 1e-12) {
+		t.Fatal("gamma-diagonal does not attain the bound")
+	}
+	if _, err := OptimalCond(1, 19); !errors.Is(err, ErrMatrix) {
+		t.Fatal("order 1 accepted")
+	}
+	if _, err := OptimalCond(5, 1); !errors.Is(err, ErrMatrix) {
+		t.Fatal("gamma 1 accepted")
+	}
+}
+
+func TestRandomConstrainedMatrixFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spec := PrivacySpec{Rho1: 0.05, Rho2: 0.50}
+	for trial := 0; trial < 20; trial++ {
+		a, err := RandomConstrainedMatrix(8, 19, 30, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyMatrix(a, spec); err != nil {
+			t.Fatalf("trial %d: generated matrix infeasible: %v", trial, err)
+		}
+		if !a.IsSymmetric(1e-9) {
+			t.Fatalf("trial %d: generated matrix not symmetric", trial)
+		}
+	}
+}
+
+// TestOptimalityTheoremEmpirically probes Section 3's theorem with the
+// library generator: no random feasible symmetric matrix beats the
+// gamma-diagonal's condition number.
+func TestOptimalityTheoremEmpirically(t *testing.T) {
+	const n, gamma = 7, 9.0
+	bound, err := OptimalCond(n, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		a, err := RandomConstrainedMatrix(n, gamma, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := linalg.Cond2Symmetric(a)
+		if err != nil {
+			continue
+		}
+		if c < bound-1e-9 {
+			t.Fatalf("trial %d: found cond %v below theoretical optimum %v", trial, c, bound)
+		}
+	}
+}
+
+func TestRandomConstrainedMatrixErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := RandomConstrainedMatrix(1, 19, 10, rng); err == nil {
+		t.Fatal("order 1 accepted")
+	}
+	if _, err := RandomConstrainedMatrix(5, 0.5, 10, rng); err == nil {
+		t.Fatal("gamma < 1 accepted")
+	}
+}

@@ -1,0 +1,29 @@
+// Package core implements the FRAPP framework of Agrawal & Haritsa
+// (ICDE 2005): a matrix-theoretic model of random perturbation for
+// privacy-preserving mining of categorical data.
+//
+// The pieces map onto the paper as follows:
+//
+//   - privacy.go    — the (ρ1, ρ2) amplification privacy measure and its
+//     reduction to the γ bound on perturbation-matrix entries (Section 2.1),
+//     plus the posterior-probability analysis for randomized matrices
+//     (Section 4.1).
+//   - uniform.go    — the "gamma-diagonal" family: matrices with a constant
+//     diagonal and constant off-diagonal (Section 3), including closed-form
+//     condition numbers, inverses, solves, and the Eq. 28 marginal matrices
+//     for itemset reconstruction (Section 6).
+//   - perturb.go    — perturbation engines: the naive full-domain CDF walk
+//     and the efficient O(Σ|S_j|) dependent-column sampler (Section 5), for
+//     both deterministic (DET-GD) and randomized (RAN-GD) matrices
+//     (Section 4).
+//   - boolean.go    — the categorical→boolean record mapping shared by the
+//     two baseline schemes.
+//   - mask.go       — the MASK flip-perturbation baseline (Rizvi & Haritsa,
+//     VLDB 2002) with its tensor-structured reconstruction matrices.
+//   - cutpaste.go   — the Cut-and-Paste randomization operator baseline
+//     (Evfimievski et al., KDD 2002) with its select-a-size distribution,
+//     per-pair transition probabilities, and (l+1)×(l+1) partial-support
+//     matrices.
+//   - reconstruct.go — generic distribution reconstruction X̂ = A⁻¹Y and the
+//     Theorem 1 estimation-error machinery (Section 2.2–2.3).
+package core

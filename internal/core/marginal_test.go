@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+// TestMarginalMatchesExplicitMarginalization is the key correctness check
+// behind Section 6: the Eq. 28 closed-form marginal matrix must equal the
+// true marginalization of the full perturbation matrix under the schema's
+// sub-index mapping — i.e. for itemsets H, L over an attribute subset Cs,
+// Ā[L][H] = Σ_{v ⊨ L} A[v][u] for any u ⊨ H.
+func TestMarginalMatchesExplicitMarginalization(t *testing.T) {
+	s := testSchema(t) // cards 3, 2, 4 → full domain 24
+	m, err := NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := m.Dense()
+
+	subsets := [][]int{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}
+	for _, cols := range subsets {
+		nSub, err := s.SubdomainSize(cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		marg, err := m.Marginal(nSub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Explicit marginalization: Ā[L][H] = Σ over v with
+		// subIndex(v)=L of A[v][u], for every u with subIndex(u)=H.
+		explicit := linalg.NewDense(nSub, nSub)
+		counted := make([]bool, nSub)
+		for u := 0; u < s.DomainSize(); u++ {
+			uRec, err := s.Decode(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := s.SubIndex(uRec, cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if counted[h] {
+				continue // Eq 28 requires the sum be equal for ALL u ⊨ H; checked below
+			}
+			counted[h] = true
+			for v := 0; v < s.DomainSize(); v++ {
+				vRec, err := s.Decode(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l, err := s.SubIndex(vRec, cols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				explicit.Add(l, h, full.At(v, u))
+			}
+		}
+		for l := 0; l < nSub; l++ {
+			for h := 0; h < nSub; h++ {
+				want := marg.Off
+				if l == h {
+					want = marg.Diag
+				}
+				if !approx(explicit.At(l, h), want, 1e-10) {
+					t.Fatalf("cols %v: marginal[%d][%d] explicit %v vs Eq28 %v",
+						cols, l, h, explicit.At(l, h), want)
+				}
+			}
+		}
+	}
+}
+
+// TestMarginalSumIndependentOfRepresentative verifies the premise of
+// Eq. 28's derivation: Σ_{v ⊨ L} A[v][u] takes the same value for every
+// u supporting the same H.
+func TestMarginalSumIndependentOfRepresentative(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewGammaDiagonal(s.DomainSize(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := m.Dense()
+	cols := []int{1} // marginal over attribute b (2 values)
+	for h := 0; h < 2; h++ {
+		for l := 0; l < 2; l++ {
+			seen := -1.0
+			for u := 0; u < s.DomainSize(); u++ {
+				uRec, _ := s.Decode(u)
+				if hu, _ := s.SubIndex(uRec, cols); hu != h {
+					continue
+				}
+				var sum float64
+				for v := 0; v < s.DomainSize(); v++ {
+					vRec, _ := s.Decode(v)
+					if lv, _ := s.SubIndex(vRec, cols); lv == l {
+						sum += full.At(v, u)
+					}
+				}
+				if seen < 0 {
+					seen = sum
+				} else if !approx(sum, seen, 1e-12) {
+					t.Fatalf("h=%d l=%d: sum %v differs from representative %v at u=%d", h, l, sum, seen, u)
+				}
+			}
+		}
+	}
+}
+
+// TestChainedPerturberMarginalDistribution checks the Section 5 sampler
+// end to end at the marginal level on a larger schema: the empirical
+// per-attribute transition frequencies must match the Eq. 28 marginal
+// matrix entries.
+func TestChainedPerturberMarginalDistribution(t *testing.T) {
+	s := dataset.CensusSchema()
+	m, err := NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := dataset.Record{1, 2, 1, 0, 1, 0}
+	rng := rand.New(rand.NewSource(404))
+	const trials = 200000
+
+	// Count per-attribute value frequencies of the perturbed output.
+	counts := make([][]float64, s.M())
+	for j := range counts {
+		counts[j] = make([]float64, s.Attrs[j].Cardinality())
+	}
+	for i := 0; i < trials; i++ {
+		v, err := p.Perturb(rec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, val := range v {
+			counts[j][val]++
+		}
+	}
+	for j := 0; j < s.M(); j++ {
+		nSub := s.Attrs[j].Cardinality()
+		marg, err := m.Marginal(nSub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for val := 0; val < nSub; val++ {
+			want := marg.Off
+			if val == rec[j] {
+				want = marg.Diag
+			}
+			got := counts[j][val] / trials
+			if diff := got - want; diff > 0.01 || diff < -0.01 {
+				t.Fatalf("attribute %d value %d: empirical %v vs marginal %v", j, val, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+func TestMaskPForGammaPaperValues(t *testing.T) {
+	// Section 7: γ=19 gives p=0.5610 for CENSUS (M=6) and p=0.5524 for
+	// HEALTH (M=7).
+	p6, err := MaskPForGamma(6, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p6-0.5610) > 5e-4 {
+		t.Fatalf("CENSUS p = %v, want 0.5610", p6)
+	}
+	p7, err := MaskPForGamma(7, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p7-0.5524) > 5e-4 {
+		t.Fatalf("HEALTH p = %v, want 0.5524", p7)
+	}
+}
+
+func TestMaskPForGammaErrors(t *testing.T) {
+	if _, err := MaskPForGamma(0, 19); !errors.Is(err, ErrPerturb) {
+		t.Fatal("0 attributes accepted")
+	}
+	if _, err := MaskPForGamma(6, 1); !errors.Is(err, ErrPerturb) {
+		t.Fatal("gamma = 1 accepted")
+	}
+}
+
+func TestMaskSchemeValidation(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	for _, p := range []float64{0.5, 0.3, 1, 1.2} {
+		if _, err := NewMaskScheme(m, p); !errors.Is(err, ErrPerturb) {
+			t.Errorf("p = %v accepted", p)
+		}
+	}
+	if _, err := NewMaskScheme(m, 0.6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskAmplificationSatisfiesGamma(t *testing.T) {
+	s := dataset.CensusSchema()
+	m, _ := NewBoolMapping(s)
+	sch, err := NewMaskSchemeForPrivacy(m, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp := sch.Amplification()
+	if amp > 19+1e-6 {
+		t.Fatalf("MASK amplification %v exceeds γ=19", amp)
+	}
+	// The chosen p is tight: amplification should be close to γ.
+	if amp < 18 {
+		t.Fatalf("MASK amplification %v unexpectedly slack", amp)
+	}
+}
+
+func TestMaskReconMatrixStochasticAndSymmetric(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	sch, err := NewMaskScheme(m, 0.57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l <= 4; l++ {
+		a, err := sch.ReconMatrix(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.IsStochasticColumns(1e-9) {
+			t.Fatalf("l=%d recon matrix not column-stochastic", l)
+		}
+		if !a.IsSymmetric(1e-12) {
+			t.Fatalf("l=%d recon matrix not symmetric", l)
+		}
+	}
+	if _, err := sch.ReconMatrix(-1); !errors.Is(err, ErrPerturb) {
+		t.Fatal("negative l accepted")
+	}
+	if _, err := sch.ReconMatrix(21); !errors.Is(err, ErrPerturb) {
+		t.Fatal("huge l accepted")
+	}
+}
+
+func TestMaskCondClosedFormMatchesJacobi(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	sch, _ := NewMaskScheme(m, 0.561)
+	for l := 1; l <= 5; l++ {
+		a, err := sch.ReconMatrix(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jac, err := linalg.Cond2Symmetric(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(sch.Cond(l), jac, 1e-6) {
+			t.Fatalf("l=%d: closed form %v vs Jacobi %v", l, sch.Cond(l), jac)
+		}
+	}
+}
+
+func TestMaskCondGrowsExponentially(t *testing.T) {
+	s := dataset.CensusSchema()
+	m, _ := NewBoolMapping(s)
+	sch, _ := NewMaskSchemeForPrivacy(m, 19)
+	ratio := sch.Cond(2) / sch.Cond(1)
+	for l := 2; l < 6; l++ {
+		r := sch.Cond(l+1) / sch.Cond(l)
+		if !approx(r, ratio, 1e-9) {
+			t.Fatalf("condition growth not geometric at l=%d", l)
+		}
+	}
+	if sch.Cond(6) < 1e4 {
+		t.Fatalf("MASK cond at l=6 is %v; paper reports ~1e5", sch.Cond(6))
+	}
+}
+
+func TestMaskPerturbDatabaseFlipRate(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	sch, _ := NewMaskScheme(m, 0.7)
+	db := dataset.NewDatabase(s, 0)
+	for i := 0; i < 4000; i++ {
+		if err := db.Append(dataset.Record{0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bdb, err := sch.PerturbDatabase(db, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := m.Encode(dataset.Record{0, 0, 0})
+	var flips, total float64
+	for _, row := range bdb.Rows {
+		flips += float64(bits.OnesCount64(row ^ orig))
+		total += float64(m.Mb)
+	}
+	got := flips / total
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("flip rate %v, want 0.3", got)
+	}
+}
+
+func TestMaskEstimateSupportRecovers(t *testing.T) {
+	// Build a database where itemset {a=0, b=1} has known support, mask
+	// it with a mild flip rate, and check reconstruction.
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	sch, _ := NewMaskScheme(m, 0.9)
+	db := dataset.NewDatabase(s, 0)
+	const n = 30000
+	const trueSupport = 9000
+	for i := 0; i < n; i++ {
+		if i < trueSupport {
+			if err := db.Append(dataset.Record{0, 1, 0}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := db.Append(dataset.Record{1, 0, 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	bdb, err := sch.PerturbDatabase(db, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitA, _ := m.Bit(0, 0)
+	bitB, _ := m.Bit(1, 1)
+	est, err := sch.EstimateSupport(bdb, []int{bitA, bitB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-trueSupport) > 0.05*trueSupport {
+		t.Fatalf("estimated support %v, want ≈%d", est, trueSupport)
+	}
+	// Empty itemset is supported by everything.
+	all, err := sch.EstimateSupport(bdb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != n {
+		t.Fatalf("empty-itemset support %v, want %d", all, n)
+	}
+	if _, err := sch.EstimateSupport(bdb, []int{99}); !errors.Is(err, ErrPerturb) {
+		t.Fatal("out-of-range bit accepted")
+	}
+}
+
+func TestMaskEstimateMatchesExplicitInverse(t *testing.T) {
+	// The O(l·2^l) tensor application must agree with the explicit
+	// LU inverse of the materialized 2^l matrix.
+	s := testSchema(t)
+	m, _ := NewBoolMapping(s)
+	sch, _ := NewMaskScheme(m, 0.75)
+	db := dataset.NewDatabase(s, 0)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		if err := db.Append(dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bdb, err := sch.PerturbDatabase(db, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemBits := []int{0, 3, 5} // a=0, b=0, c=0
+	fast, err := sch.EstimateSupport(bdb, itemBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow path: counts → LU solve on materialized tensor matrix.
+	l := len(itemBits)
+	counts := make([]float64, 1<<uint(l))
+	for _, row := range bdb.Rows {
+		idx := 0
+		for k, b := range itemBits {
+			if row&(1<<uint(b)) != 0 {
+				idx |= 1 << uint(k)
+			}
+		}
+		counts[idx]++
+	}
+	a, err := sch.ReconMatrix(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := linalg.Solve(a, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fast, x[len(x)-1], 1e-8) {
+		t.Fatalf("tensor estimate %v vs LU %v", fast, x[len(x)-1])
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// PerturbDatabaseParallel perturbs every record using a pool of worker
+// goroutines. Client-side perturbation is embarrassingly parallel — each
+// record's distortion is independent — so the only care needed is
+// determinism: the database is split into contiguous spans and each span
+// gets its own RNG seeded from baseSeed and the span index, making the
+// output a pure function of (db, perturber parameters, baseSeed,
+// workers). Note that changing the worker count changes the span
+// boundaries and therefore the (equally valid) random outcome.
+func PerturbDatabaseParallel(db *dataset.Database, p Perturber, baseSeed int64, workers int) (*dataset.Database, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := db.N()
+	if n == 0 {
+		return dataset.NewDatabase(db.Schema, 0), nil
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]dataset.Record, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			const spanMix = int64(0x5851F42D4C957F2D) // per-span seed decorrelation
+			rng := rand.New(rand.NewSource(baseSeed ^ (int64(w)+1)*spanMix))
+			for i := lo; i < hi; i++ {
+				rec, err := p.Perturb(db.Records[i], rng)
+				if err != nil {
+					errs[w] = fmt.Errorf("record %d: %w", i, err)
+					return
+				}
+				out[i] = rec
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &dataset.Database{Schema: db.Schema, Records: out}, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestPerturbDatabaseParallelBasics(t *testing.T) {
+	db, err := dataset.GenerateCensus(5000, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewGammaDiagonal(db.Schema.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewGammaPerturber(db.Schema, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PerturbDatabaseParallel(db, p, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != db.N() {
+		t.Fatalf("N = %d, want %d", out.N(), db.N())
+	}
+	for i, rec := range out.Records {
+		if err := db.Schema.Validate(rec); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPerturbDatabaseParallelDeterministic(t *testing.T) {
+	db, err := dataset.GenerateCensus(2000, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewGammaDiagonal(db.Schema.DomainSize(), 19)
+	p, _ := NewGammaPerturber(db.Schema, m)
+	a, err := PerturbDatabaseParallel(db, p, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerturbDatabaseParallel(db, p, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		for j := range a.Records[i] {
+			if a.Records[i][j] != b.Records[i][j] {
+				t.Fatal("same seed and workers produced different output")
+			}
+		}
+	}
+	c, err := PerturbDatabaseParallel(db, p, 43, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Records {
+		for j := range a.Records[i] {
+			if a.Records[i][j] != c.Records[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestPerturbDatabaseParallelStatisticallyCorrect(t *testing.T) {
+	// The parallel path must produce the same transition distribution as
+	// the matrix prescribes: check retention frequency of a constant DB.
+	s := testSchema(t)
+	db := dataset.NewDatabase(s, 0)
+	const n = 120000
+	for i := 0; i < n; i++ {
+		if err := db.Append(dataset.Record{1, 0, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := NewGammaDiagonal(s.DomainSize(), 19)
+	p, _ := NewGammaPerturber(s, m)
+	out, err := PerturbDatabaseParallel(db, p, 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, rec := range out.Records {
+		if rec[0] == 1 && rec[1] == 0 && rec[2] == 2 {
+			kept++
+		}
+	}
+	got := float64(kept) / n
+	sigma := math.Sqrt(m.Diag * (1 - m.Diag) / n)
+	if math.Abs(got-m.Diag) > 5*sigma {
+		t.Fatalf("retention %v, want %v (±%v)", got, m.Diag, 5*sigma)
+	}
+}
+
+func TestPerturbDatabaseParallelEdgeCases(t *testing.T) {
+	s := testSchema(t)
+	db := dataset.NewDatabase(s, 0)
+	m, _ := NewGammaDiagonal(s.DomainSize(), 19)
+	p, _ := NewGammaPerturber(s, m)
+	out, err := PerturbDatabaseParallel(db, p, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != 0 {
+		t.Fatal("empty database grew")
+	}
+	// More workers than records.
+	if err := db.Append(dataset.Record{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = PerturbDatabaseParallel(db, p, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != 1 {
+		t.Fatalf("N = %d", out.N())
+	}
+	// workers ≤ 0 defaults to GOMAXPROCS.
+	if _, err := PerturbDatabaseParallel(db, p, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Errors propagate.
+	bad := dataset.NewDatabase(s, 0)
+	bad.Records = append(bad.Records, dataset.Record{9, 9, 9})
+	if _, err := PerturbDatabaseParallel(bad, p, 1, 2); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// ErrPerturb is returned for perturbation setup failures.
+var ErrPerturb = errors.New("core: invalid perturbation setup")
+
+// Perturber maps an original categorical record to a randomly perturbed
+// one. Implementations must not retain rec.
+type Perturber interface {
+	Perturb(rec dataset.Record, rng *rand.Rand) (dataset.Record, error)
+}
+
+// PerturbDatabase applies p independently to every record, the FRAPP
+// client-side model in which each customer distorts their own record
+// before submission (Section 2).
+func PerturbDatabase(db *dataset.Database, p Perturber, rng *rand.Rand) (*dataset.Database, error) {
+	out := dataset.NewDatabase(db.Schema, db.N())
+	for i, rec := range db.Records {
+		v, err := p.Perturb(rec, rng)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		out.Records = append(out.Records, v)
+	}
+	return out, nil
+}
+
+// GammaPerturber is the efficient dependent-column perturbation of
+// Section 5 for a deterministic uniform-off-diagonal matrix (DET-GD).
+// Its per-record cost is O(M) — versus O(Π_j |S_j|) for the naive CDF
+// walk — because of the chain factorization of Eq. 26: while the
+// perturbed prefix still equals the original prefix, column j keeps its
+// original value with the closed-form conditional probability; as soon
+// as one column deviates, all remaining columns become uniform.
+type GammaPerturber struct {
+	schema *dataset.Schema
+	matrix UniformMatrix
+}
+
+// NewGammaPerturber validates that the matrix order matches the schema
+// domain.
+func NewGammaPerturber(s *dataset.Schema, m UniformMatrix) (*GammaPerturber, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N != s.DomainSize() {
+		return nil, fmt.Errorf("%w: matrix order %d vs domain size %d", ErrPerturb, m.N, s.DomainSize())
+	}
+	return &GammaPerturber{schema: s, matrix: m}, nil
+}
+
+// Matrix returns the perturbation matrix in use.
+func (g *GammaPerturber) Matrix() UniformMatrix { return g.matrix }
+
+// Perturb draws one perturbed record.
+func (g *GammaPerturber) Perturb(rec dataset.Record, rng *rand.Rand) (dataset.Record, error) {
+	if err := g.schema.Validate(rec); err != nil {
+		return nil, err
+	}
+	return perturbChained(g.schema, g.matrix.Diag, g.matrix.Off, rec, rng), nil
+}
+
+// perturbChained implements the Section 5 sampler for any matrix of the
+// form Diag·I + Off·(J−I) over the schema's mixed-radix domain.
+func perturbChained(s *dataset.Schema, d, o float64, rec dataset.Record, rng *rand.Rand) dataset.Record {
+	nC := float64(s.DomainSize())
+	out := make(dataset.Record, s.M())
+	matched := true
+	nPrefix := 1.0
+	// P(perturbed prefix equals original prefix through column j−1);
+	// n_0 = 1 gives d + (nC−1)·o = 1 for a Markov matrix.
+	prev := d + (nC-1)*o
+	for j := 0; j < s.M(); j++ {
+		card := s.Attrs[j].Cardinality()
+		if !matched {
+			out[j] = rng.Intn(card)
+			continue
+		}
+		nPrefix *= float64(card)
+		pPrefix := d + (nC/nPrefix-1)*o
+		pMatch := pPrefix / prev
+		if rng.Float64() < pMatch {
+			out[j] = rec[j]
+			prev = pPrefix
+			continue
+		}
+		// Deviate: uniform over the other card−1 values; subsequent
+		// columns are uniform over their full domains.
+		v := rng.Intn(card - 1)
+		if v >= rec[j] {
+			v++
+		}
+		out[j] = v
+		matched = false
+	}
+	return out
+}
+
+// RandomizedGammaPerturber implements RAN-GD (Section 4): each record is
+// perturbed with a fresh realization of the randomized gamma-diagonal
+// matrix, diagonal γx+r and off-diagonal x−r/(n−1) with r ~ U(−α, α).
+// The miner only ever learns the expected matrix.
+type RandomizedGammaPerturber struct {
+	schema *dataset.Schema
+	base   UniformMatrix
+	alpha  float64
+}
+
+// NewRandomizedGammaPerturber validates α against the base matrix: every
+// realization in [−α, α] must remain a valid Markov matrix.
+func NewRandomizedGammaPerturber(s *dataset.Schema, base UniformMatrix, alpha float64) (*RandomizedGammaPerturber, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if base.N != s.DomainSize() {
+		return nil, fmt.Errorf("%w: matrix order %d vs domain size %d", ErrPerturb, base.N, s.DomainSize())
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("%w: negative randomization amplitude %v", ErrPerturb, alpha)
+	}
+	if max := base.MaxRandomization(); alpha > max+1e-12 {
+		return nil, fmt.Errorf("%w: alpha %v exceeds maximum %v for this matrix", ErrPerturb, alpha, max)
+	}
+	return &RandomizedGammaPerturber{schema: s, base: base, alpha: alpha}, nil
+}
+
+// ExpectedMatrix returns E[Ã], the matrix the miner reconstructs with.
+func (g *RandomizedGammaPerturber) ExpectedMatrix() UniformMatrix { return g.base }
+
+// Alpha returns the randomization amplitude.
+func (g *RandomizedGammaPerturber) Alpha() float64 { return g.alpha }
+
+// Perturb draws the per-client matrix realization, then perturbs.
+func (g *RandomizedGammaPerturber) Perturb(rec dataset.Record, rng *rand.Rand) (dataset.Record, error) {
+	if err := g.schema.Validate(rec); err != nil {
+		return nil, err
+	}
+	r := (2*rng.Float64() - 1) * g.alpha
+	m, err := g.base.Randomize(r)
+	if err != nil {
+		return nil, err
+	}
+	return perturbChained(g.schema, m.Diag, m.Off, rec, rng), nil
+}
+
+// NaiveGammaPerturber is the "straightforward algorithm" of Section 5: it
+// materializes the full discrete distribution over the record domain and
+// walks its CDF, at O(|S_V|) cost per record. Retained as the correctness
+// oracle for GammaPerturber and for the Section 5 complexity benchmark;
+// only usable for small domains.
+type NaiveGammaPerturber struct {
+	schema *dataset.Schema
+	matrix UniformMatrix
+}
+
+// NewNaiveGammaPerturber builds the oracle perturber.
+func NewNaiveGammaPerturber(s *dataset.Schema, m UniformMatrix) (*NaiveGammaPerturber, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N != s.DomainSize() {
+		return nil, fmt.Errorf("%w: matrix order %d vs domain size %d", ErrPerturb, m.N, s.DomainSize())
+	}
+	return &NaiveGammaPerturber{schema: s, matrix: m}, nil
+}
+
+// Perturb walks the CDF of column u of the perturbation matrix.
+func (g *NaiveGammaPerturber) Perturb(rec dataset.Record, rng *rand.Rand) (dataset.Record, error) {
+	u, err := g.schema.Index(rec)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.Float64()
+	var acc float64
+	v := g.matrix.N - 1
+	for i := 0; i < g.matrix.N; i++ {
+		if i == u {
+			acc += g.matrix.Diag
+		} else {
+			acc += g.matrix.Off
+		}
+		if r <= acc {
+			v = i
+			break
+		}
+	}
+	return g.schema.Decode(v)
+}
+
+// DensePerturber perturbs with an arbitrary dense perturbation matrix
+// (column u is the output distribution for input u), realizing FRAPP's
+// "design the matrix first, derive the method" philosophy for matrices
+// without exploitable structure. Sampling uses per-column alias tables:
+// O(1) per draw after O(n²) setup.
+type DensePerturber struct {
+	schema   *dataset.Schema
+	matrix   *linalg.Dense
+	samplers []*stats.AliasSampler
+}
+
+// NewDensePerturber validates the matrix (column-stochastic, matching the
+// schema domain) and builds the per-column samplers.
+func NewDensePerturber(s *dataset.Schema, a *linalg.Dense) (*DensePerturber, error) {
+	rows, cols := a.Dims()
+	n := s.DomainSize()
+	if rows != n || cols != n {
+		return nil, fmt.Errorf("%w: matrix %dx%d vs domain size %d", ErrPerturb, rows, cols, n)
+	}
+	if !a.IsStochasticColumns(1e-9) {
+		return nil, fmt.Errorf("%w: matrix is not column-stochastic", ErrPerturb)
+	}
+	samplers := make([]*stats.AliasSampler, n)
+	for u := 0; u < n; u++ {
+		col := a.Col(u)
+		smp, err := stats.NewAliasSampler(col)
+		if err != nil {
+			return nil, fmt.Errorf("%w: column %d: %v", ErrPerturb, u, err)
+		}
+		samplers[u] = smp
+	}
+	return &DensePerturber{schema: s, matrix: a, samplers: samplers}, nil
+}
+
+// Perturb samples the perturbed record index from column u's alias table.
+func (p *DensePerturber) Perturb(rec dataset.Record, rng *rand.Rand) (dataset.Record, error) {
+	u, err := p.schema.Index(rec)
+	if err != nil {
+		return nil, err
+	}
+	return p.schema.Decode(p.samplers[u].Sample(rng))
+}

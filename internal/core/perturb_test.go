@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+func testSchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	s, err := dataset.NewSchema("perturb-test", []dataset.Attribute{
+		{Name: "a", Categories: []string{"a0", "a1", "a2"}},
+		{Name: "b", Categories: []string{"b0", "b1"}},
+		{Name: "c", Categories: []string{"c0", "c1", "c2", "c3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// transitionFrequencies estimates the empirical transition distribution
+// from one fixed record under a perturber.
+func transitionFrequencies(t *testing.T, s *dataset.Schema, p Perturber, rec dataset.Record, trials int, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	freq := make([]float64, s.DomainSize())
+	for i := 0; i < trials; i++ {
+		v, err := p.Perturb(rec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := s.Index(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq[idx]++
+	}
+	for i := range freq {
+		freq[i] /= float64(trials)
+	}
+	return freq
+}
+
+func TestGammaPerturberMatchesMatrix(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := dataset.Record{1, 0, 2}
+	u, _ := s.Index(rec)
+	const trials = 400000
+	freq := transitionFrequencies(t, s, p, rec, trials, 99)
+	// Empirical frequencies must match matrix column u: Diag at u, Off
+	// elsewhere. Binomial std ≈ sqrt(p/n): allow 5 sigma.
+	for v := 0; v < s.DomainSize(); v++ {
+		want := m.Off
+		if v == u {
+			want = m.Diag
+		}
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(freq[v]-want) > 5*sigma+1e-9 {
+			t.Fatalf("transition %d→%d: freq %v, want %v (±%v)", u, v, freq[v], want, 5*sigma)
+		}
+	}
+}
+
+func TestGammaPerturberAgreesWithNaive(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewGammaDiagonal(s.DomainSize(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewNaiveGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := dataset.Record{2, 1, 3}
+	const trials = 300000
+	f1 := transitionFrequencies(t, s, fast, rec, trials, 5)
+	f2 := transitionFrequencies(t, s, naive, rec, trials, 6)
+	for v := range f1 {
+		if math.Abs(f1[v]-f2[v]) > 0.01 {
+			t.Fatalf("samplers disagree at %d: chained %v vs naive %v", v, f1[v], f2[v])
+		}
+	}
+}
+
+func TestDensePerturberMatchesGamma(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewGammaDiagonal(s.DomainSize(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDensePerturber(s, m.Dense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := dataset.Record{0, 1, 0}
+	u, _ := s.Index(rec)
+	const trials = 300000
+	freq := transitionFrequencies(t, s, dp, rec, trials, 31)
+	for v := range freq {
+		want := m.Off
+		if v == u {
+			want = m.Diag
+		}
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(freq[v]-want) > 5*sigma+1e-9 {
+			t.Fatalf("dense perturber off at %d: %v vs %v", v, freq[v], want)
+		}
+	}
+}
+
+func TestRandomizedGammaPerturberExpectation(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := m.Diag / 2 // γx/2, the paper's Figure 1–2 setting
+	p, err := NewRandomizedGammaPerturber(s, m, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Alpha() != alpha {
+		t.Fatalf("Alpha() = %v", p.Alpha())
+	}
+	if p.ExpectedMatrix() != m {
+		t.Fatal("ExpectedMatrix() changed")
+	}
+	rec := dataset.Record{1, 1, 1}
+	u, _ := s.Index(rec)
+	const trials = 400000
+	freq := transitionFrequencies(t, s, p, rec, trials, 77)
+	// Marginally over r, transitions follow the EXPECTED matrix.
+	for v := range freq {
+		want := m.Off
+		if v == u {
+			want = m.Diag
+		}
+		// Extra variance from randomization: widen tolerance.
+		sigma := math.Sqrt(want*(1-want)/trials) + alpha/math.Sqrt(trials)
+		if math.Abs(freq[v]-want) > 6*sigma+2e-3 {
+			t.Fatalf("RAN-GD marginal off at %d: %v vs %v", v, freq[v], want)
+		}
+	}
+}
+
+func TestRandomizedPerturberAlphaValidation(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewGammaDiagonal(s.DomainSize(), 19)
+	if _, err := NewRandomizedGammaPerturber(s, m, -1); !errors.Is(err, ErrPerturb) {
+		t.Fatal("negative alpha accepted")
+	}
+	if _, err := NewRandomizedGammaPerturber(s, m, m.MaxRandomization()*2); !errors.Is(err, ErrPerturb) {
+		t.Fatal("excessive alpha accepted")
+	}
+	if _, err := NewRandomizedGammaPerturber(s, m, m.MaxRandomization()); err != nil {
+		t.Fatalf("maximal alpha rejected: %v", err)
+	}
+}
+
+func TestPerturberSetupErrors(t *testing.T) {
+	s := testSchema(t)
+	wrongOrder, _ := NewGammaDiagonal(s.DomainSize()+1, 19)
+	if _, err := NewGammaPerturber(s, wrongOrder); !errors.Is(err, ErrPerturb) {
+		t.Fatal("order mismatch accepted")
+	}
+	if _, err := NewNaiveGammaPerturber(s, wrongOrder); !errors.Is(err, ErrPerturb) {
+		t.Fatal("naive order mismatch accepted")
+	}
+	bad := UniformMatrix{N: s.DomainSize(), Diag: 2, Off: 0}
+	if _, err := NewGammaPerturber(s, bad); err == nil {
+		t.Fatal("invalid matrix accepted")
+	}
+	if _, err := NewDensePerturber(s, linalg.NewDense(3, 3)); err == nil {
+		t.Fatal("wrong-size dense matrix accepted")
+	}
+}
+
+func TestPerturbDatabase(t *testing.T) {
+	s := testSchema(t)
+	db := dataset.NewDatabase(s, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		rec := dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}
+		if err := db.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := NewGammaDiagonal(s.DomainSize(), 19)
+	p, err := NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PerturbDatabase(db, p, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != db.N() {
+		t.Fatalf("perturbed N = %d, want %d", out.N(), db.N())
+	}
+	for i, rec := range out.Records {
+		if err := s.Validate(rec); err != nil {
+			t.Fatalf("perturbed record %d invalid: %v", i, err)
+		}
+	}
+	// With γ=19 and n=24, a substantial share of records must be changed.
+	changed := 0
+	for i := range db.Records {
+		for j := range db.Records[i] {
+			if db.Records[i][j] != out.Records[i][j] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no record changed — perturbation not happening")
+	}
+}
+
+func TestPerturbRejectsInvalidRecord(t *testing.T) {
+	s := testSchema(t)
+	m, _ := NewGammaDiagonal(s.DomainSize(), 19)
+	p, _ := NewGammaPerturber(s, m)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := p.Perturb(dataset.Record{9, 9, 9}, rng); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	rp, _ := NewRandomizedGammaPerturber(s, m, 0)
+	if _, err := rp.Perturb(dataset.Record{9}, rng); err == nil {
+		t.Fatal("invalid record accepted by RAN-GD")
+	}
+	np, _ := NewNaiveGammaPerturber(s, m)
+	if _, err := np.Perturb(dataset.Record{0}, rng); err == nil {
+		t.Fatal("invalid record accepted by naive")
+	}
+}

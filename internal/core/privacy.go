@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrPrivacy is returned for invalid privacy parameters.
+var ErrPrivacy = errors.New("core: invalid privacy parameter")
+
+// PrivacySpec is the strict (ρ1, ρ2) amplification privacy requirement of
+// Evfimievski et al. (PODS 2003), adopted by FRAPP: for any property with
+// prior probability below Rho1, the posterior probability after seeing the
+// perturbed record must stay below Rho2.
+type PrivacySpec struct {
+	Rho1 float64
+	Rho2 float64
+}
+
+// Validate checks 0 < ρ1 < ρ2 < 1.
+func (p PrivacySpec) Validate() error {
+	if !(p.Rho1 > 0 && p.Rho1 < 1) {
+		return fmt.Errorf("%w: rho1 = %v not in (0,1)", ErrPrivacy, p.Rho1)
+	}
+	if !(p.Rho2 > 0 && p.Rho2 < 1) {
+		return fmt.Errorf("%w: rho2 = %v not in (0,1)", ErrPrivacy, p.Rho2)
+	}
+	if p.Rho2 <= p.Rho1 {
+		return fmt.Errorf("%w: rho2 = %v must exceed rho1 = %v", ErrPrivacy, p.Rho2, p.Rho1)
+	}
+	return nil
+}
+
+// Gamma returns the bound γ = ρ2(1−ρ1)/(ρ1(1−ρ2)) that any two entries in
+// a row of the perturbation matrix may differ by (Equation 2 of the
+// paper). The paper's running example (5%, 50%) gives γ = 19.
+func (p PrivacySpec) Gamma() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.Rho2 * (1 - p.Rho1) / (p.Rho1 * (1 - p.Rho2)), nil
+}
+
+// PosteriorFromGamma inverts Gamma: the worst-case posterior probability
+// ρ2 guaranteed for priors up to rho1 by a matrix with amplification γ.
+func PosteriorFromGamma(gamma, rho1 float64) (float64, error) {
+	if gamma < 1 {
+		return 0, fmt.Errorf("%w: gamma = %v < 1", ErrPrivacy, gamma)
+	}
+	if !(rho1 > 0 && rho1 < 1) {
+		return 0, fmt.Errorf("%w: rho1 = %v not in (0,1)", ErrPrivacy, rho1)
+	}
+	return gamma * rho1 / ((1 - rho1) + gamma*rho1), nil
+}
+
+// Amplification returns the actual amplification of a perturbation matrix:
+// the maximum over rows v of max_{u1,u2} A[v][u1]/A[v][u2]. A matrix
+// satisfies a (ρ1, ρ2) requirement iff Amplification(A) ≤ γ(ρ1, ρ2).
+// Zero-probability rows are skipped; a row with both zero and nonzero
+// entries has infinite amplification.
+func Amplification(a *linalg.Dense) float64 {
+	rows, cols := a.Dims()
+	worst := 1.0
+	for v := 0; v < rows; v++ {
+		mn, mx := math.Inf(1), 0.0
+		for u := 0; u < cols; u++ {
+			p := a.At(v, u)
+			if p < mn {
+				mn = p
+			}
+			if p > mx {
+				mx = p
+			}
+		}
+		if mx == 0 {
+			continue // row unreachable from every input: no breach channel
+		}
+		if mn == 0 {
+			return math.Inf(1)
+		}
+		if r := mx / mn; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// WorstCasePosterior returns the posterior probability the miner can pin
+// on a property with prior rho1 after observing output v of a fixed
+// matrix with row-ratio amplification gammaActual: the Section 4.1
+// worst-case data distribution concentrates the property on the
+// max-probability inputs and its complement on the min-probability ones.
+func WorstCasePosterior(gammaActual, rho1 float64) (float64, error) {
+	return PosteriorFromGamma(gammaActual, rho1)
+}
+
+// RandomizedPosterior computes ρ2(r) of Section 4.1 for the randomized
+// gamma-diagonal matrix of order n: diagonal γx+r, off-diagonal
+// x − r/(n−1), evaluated at a specific realization r.
+func RandomizedPosterior(gamma float64, n int, rho1, r float64) (float64, error) {
+	if gamma <= 1 {
+		return 0, fmt.Errorf("%w: gamma = %v must exceed 1", ErrPrivacy, gamma)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("%w: domain size %d", ErrPrivacy, n)
+	}
+	if !(rho1 > 0 && rho1 < 1) {
+		return 0, fmt.Errorf("%w: rho1 = %v", ErrPrivacy, rho1)
+	}
+	x := 1 / (gamma + float64(n) - 1)
+	d := gamma*x + r
+	o := x - r/float64(n-1)
+	if d < 0 || o < 0 {
+		return 0, fmt.Errorf("%w: randomization r = %v leaves negative probabilities", ErrPrivacy, r)
+	}
+	num := rho1 * d
+	den := rho1*d + (1-rho1)*o
+	if den == 0 {
+		return 1, nil
+	}
+	return num / den, nil
+}
+
+// PosteriorRange returns [ρ2(−α), ρ2(+α)], the posterior-probability range
+// that is all the miner can determine under RAN-GD randomization with
+// amplitude α (Figure 3(a) of the paper). The low end is the worst-case
+// breach the miner can actually assert.
+func PosteriorRange(gamma float64, n int, rho1, alpha float64) (lo, hi float64, err error) {
+	if alpha < 0 {
+		return 0, 0, fmt.Errorf("%w: alpha = %v negative", ErrPrivacy, alpha)
+	}
+	lo, err = RandomizedPosterior(gamma, n, rho1, -alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = RandomizedPosterior(gamma, n, rho1, +alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// BreachProbability returns P(ρ2(r) > threshold) for r ~ U(−α, α) — the
+// distributional statement of Section 4.1's example ("its probability of
+// being greater than 50% equal to its probability of being less than
+// 50%"). Because ρ2(r) is strictly increasing in r, the probability is
+// the uniform measure of {r : r > ρ2⁻¹(threshold)}, computed by bisection.
+func BreachProbability(gamma float64, n int, rho1, alpha, threshold float64) (float64, error) {
+	if alpha < 0 {
+		return 0, fmt.Errorf("%w: alpha = %v negative", ErrPrivacy, alpha)
+	}
+	lo, hi, err := PosteriorRange(gamma, n, rho1, alpha)
+	if err != nil {
+		return 0, err
+	}
+	if threshold >= hi {
+		return 0, nil
+	}
+	if threshold < lo {
+		return 1, nil
+	}
+	if alpha == 0 {
+		// Degenerate distribution at ρ2(0); thresholds below it were
+		// handled above.
+		return 0, nil
+	}
+	// Bisect for r* with ρ2(r*) = threshold on [−α, α].
+	rLo, rHi := -alpha, alpha
+	for i := 0; i < 200 && rHi-rLo > 1e-15*alpha; i++ {
+		mid := (rLo + rHi) / 2
+		p, err := RandomizedPosterior(gamma, n, rho1, mid)
+		if err != nil {
+			return 0, err
+		}
+		if p > threshold {
+			rHi = mid
+		} else {
+			rLo = mid
+		}
+	}
+	rStar := (rLo + rHi) / 2
+	return (alpha - rStar) / (2 * alpha), nil
+}

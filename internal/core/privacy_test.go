@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPrivacySpecValidate(t *testing.T) {
+	bad := []PrivacySpec{
+		{Rho1: 0, Rho2: 0.5},
+		{Rho1: 0.5, Rho2: 0},
+		{Rho1: 0.5, Rho2: 1},
+		{Rho1: 1, Rho2: 0.5},
+		{Rho1: 0.5, Rho2: 0.5},
+		{Rho1: 0.6, Rho2: 0.5},
+		{Rho1: -0.1, Rho2: 0.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrPrivacy) {
+			t.Errorf("spec %+v accepted", p)
+		}
+	}
+	if err := (PrivacySpec{Rho1: 0.05, Rho2: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaPaperValue(t *testing.T) {
+	// The paper's running example: (ρ1, ρ2) = (5%, 50%) gives γ = 19.
+	g, err := PrivacySpec{Rho1: 0.05, Rho2: 0.50}.Gamma()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(g, 19, 1e-12) {
+		t.Fatalf("gamma = %v, want 19", g)
+	}
+}
+
+func TestGammaPosteriorInverse(t *testing.T) {
+	for _, spec := range []PrivacySpec{
+		{0.05, 0.5}, {0.01, 0.3}, {0.2, 0.8}, {0.1, 0.11},
+	} {
+		g, err := spec.Gamma()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := PosteriorFromGamma(g, spec.Rho1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(back, spec.Rho2, 1e-12) {
+			t.Fatalf("spec %+v: round-trip posterior %v", spec, back)
+		}
+	}
+	if _, err := PosteriorFromGamma(0.5, 0.1); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("gamma < 1 accepted")
+	}
+	if _, err := PosteriorFromGamma(19, 1.5); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("rho1 out of range accepted")
+	}
+}
+
+func TestAmplificationGammaDiagonal(t *testing.T) {
+	m, err := NewGammaDiagonal(8, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Amplification(m.Dense()); !approx(got, 19, 1e-12) {
+		t.Fatalf("amplification = %v, want 19", got)
+	}
+}
+
+func TestAmplificationEdgeCases(t *testing.T) {
+	id := linalg.Identity(3)
+	if got := Amplification(id); !math.IsInf(got, 1) {
+		t.Fatalf("identity amplification = %v, want +Inf (zero/nonzero rows)", got)
+	}
+	z := linalg.NewDense(2, 2)
+	if got := Amplification(z); got != 1 {
+		t.Fatalf("all-zero amplification = %v, want 1 (no reachable rows)", got)
+	}
+	u, _ := linalg.NewDenseFrom(2, 2, []float64{0.5, 0.5, 0.5, 0.5})
+	if got := Amplification(u); got != 1 {
+		t.Fatalf("uniform amplification = %v, want 1", got)
+	}
+}
+
+func TestRandomizedPosteriorPaperValues(t *testing.T) {
+	// Section 4.1 example: P(Q)=5%, γ=19, α=γx/2 → posterior range
+	// [33%, 60%], with ρ2(0)=50%.
+	const gamma = 19.0
+	n := 2000 // CENSUS domain
+	x := 1 / (gamma + float64(n) - 1)
+	alpha := gamma * x / 2
+
+	mid, err := RandomizedPosterior(gamma, n, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(mid, 0.5, 1e-12) {
+		t.Fatalf("rho2(0) = %v, want 0.5", mid)
+	}
+	lo, hi, err := PosteriorRange(gamma, n, 0.05, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1.0/3) > 0.01 {
+		t.Fatalf("rho2(-alpha) = %v, want ≈0.333", lo)
+	}
+	if math.Abs(hi-0.6) > 0.01 {
+		t.Fatalf("rho2(+alpha) = %v, want ≈0.60", hi)
+	}
+}
+
+func TestRandomizedPosteriorMonotoneInR(t *testing.T) {
+	const gamma, n, rho1 = 19.0, 100, 0.05
+	x := 1 / (gamma + float64(n) - 1)
+	prev := -1.0
+	for r := -gamma * x; r <= gamma*x; r += gamma * x / 10 {
+		p, err := RandomizedPosterior(gamma, n, rho1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Fatalf("posterior not monotone at r=%v: %v < %v", r, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestRandomizedPosteriorErrors(t *testing.T) {
+	if _, err := RandomizedPosterior(1, 10, 0.05, 0); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("gamma ≤ 1 accepted")
+	}
+	if _, err := RandomizedPosterior(19, 1, 0.05, 0); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("n < 2 accepted")
+	}
+	if _, err := RandomizedPosterior(19, 10, 0, 0); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("rho1 = 0 accepted")
+	}
+	if _, err := RandomizedPosterior(19, 10, 0.05, 100); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("r beyond feasible range accepted")
+	}
+	if _, _, err := PosteriorRange(19, 10, 0.05, -1); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestBreachProbabilityPaperExample(t *testing.T) {
+	// Section 4.1: at α=γx/2 the posterior's "probability of being
+	// greater than 50% equals its probability of being less than 50%" —
+	// i.e. P(ρ2(r) > ρ2(0)) = 1/2.
+	const gamma, n, rho1 = 19.0, 2000, 0.05
+	x := 1 / (gamma + float64(n) - 1)
+	alpha := gamma * x / 2
+	p, err := BreachProbability(gamma, n, rho1, alpha, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-6 {
+		t.Fatalf("P(rho2 > 0.5) = %v, want 0.5", p)
+	}
+}
+
+func TestBreachProbabilityBounds(t *testing.T) {
+	const gamma, n, rho1 = 19.0, 100, 0.05
+	x := 1 / (gamma + float64(n) - 1)
+	alpha := gamma * x / 2
+	lo, hi, err := PosteriorRange(gamma, n, rho1, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold above the range: probability 0; below: probability 1.
+	if p, err := BreachProbability(gamma, n, rho1, alpha, hi+0.01); err != nil || p != 0 {
+		t.Fatalf("above-range: p=%v err=%v", p, err)
+	}
+	if p, err := BreachProbability(gamma, n, rho1, alpha, lo-0.01); err != nil || p != 1 {
+		t.Fatalf("below-range: p=%v err=%v", p, err)
+	}
+	// Monotone decreasing in the threshold.
+	prev := 2.0
+	for th := lo; th <= hi; th += (hi - lo) / 10 {
+		p, err := BreachProbability(gamma, n, rho1, alpha, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-9 {
+			t.Fatalf("breach probability not monotone at threshold %v", th)
+		}
+		prev = p
+	}
+	// Degenerate alpha.
+	if p, err := BreachProbability(gamma, n, rho1, 0, 0.4); err != nil || p != 1 {
+		t.Fatalf("alpha=0 below point: p=%v err=%v", p, err)
+	}
+	if p, err := BreachProbability(gamma, n, rho1, 0, 0.6); err != nil || p != 0 {
+		t.Fatalf("alpha=0 above point: p=%v err=%v", p, err)
+	}
+	if _, err := BreachProbability(gamma, n, rho1, -1, 0.5); !errors.Is(err, ErrPrivacy) {
+		t.Fatal("negative alpha accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// ReconstructHistogram estimates the original record-count distribution X̂
+// from the perturbed histogram Y by solving Y = A·X̂ (Equation 8 of the
+// paper) in O(n) using the uniform-off-diagonal structure.
+func ReconstructHistogram(m UniformMatrix, y []float64) ([]float64, error) {
+	return m.Solve(y)
+}
+
+// ReconstructHistogramDense is the general-matrix reconstruction via LU,
+// usable with any invertible perturbation matrix; it cross-checks the
+// closed-form path in tests and supports custom DensePerturber matrices.
+func ReconstructHistogramDense(a *linalg.Dense, y []float64) ([]float64, error) {
+	return linalg.Solve(a, y)
+}
+
+// EstimationErrorBound evaluates Theorem 1 of the paper: given the
+// condition number of the perturbation matrix, the observed perturbed
+// histogram y and its expectation Ey = A·X, the relative reconstruction
+// error ‖X̂−X‖/‖X‖ is bounded by cond · ‖y−Ey‖/‖Ey‖ (2-norms).
+func EstimationErrorBound(cond float64, y, ey []float64) (float64, error) {
+	if len(y) != len(ey) {
+		return 0, fmt.Errorf("%w: length mismatch %d vs %d", ErrMatrix, len(y), len(ey))
+	}
+	diff := make([]float64, len(y))
+	for i := range y {
+		diff[i] = y[i] - ey[i]
+	}
+	den := linalg.VecNorm2(ey)
+	if den == 0 {
+		return 0, fmt.Errorf("%w: zero expectation vector", ErrMatrix)
+	}
+	return cond * linalg.VecNorm2(diff) / den, nil
+}
+
+// RelativeError returns ‖X̂−X‖/‖X‖ (2-norms), the left side of Theorem 1.
+func RelativeError(xhat, x []float64) (float64, error) {
+	if len(xhat) != len(x) {
+		return 0, fmt.Errorf("%w: length mismatch %d vs %d", ErrMatrix, len(xhat), len(x))
+	}
+	diff := make([]float64, len(x))
+	for i := range x {
+		diff[i] = xhat[i] - x[i]
+	}
+	den := linalg.VecNorm2(x)
+	if den == 0 {
+		return 0, fmt.Errorf("%w: zero truth vector", ErrMatrix)
+	}
+	return linalg.VecNorm2(diff) / den, nil
+}
+
+// PerturbedCountDistribution returns the Poisson-Binomial distribution of
+// Y_v, the count of perturbed records with value v, for a database whose
+// original histogram is x and a uniform-off-diagonal matrix (Section 2.2):
+// each original record at u contributes a Bernoulli trial with success
+// probability A[v][u].
+func PerturbedCountDistribution(m UniformMatrix, x []float64, v int) (*stats.PoissonBinomial, error) {
+	if len(x) != m.N {
+		return nil, fmt.Errorf("%w: histogram length %d vs order %d", ErrMatrix, len(x), m.N)
+	}
+	if v < 0 || v >= m.N {
+		return nil, fmt.Errorf("%w: value index %d out of range", ErrMatrix, v)
+	}
+	var probs []float64
+	for u, cnt := range x {
+		n := int(cnt)
+		p := m.Off
+		if u == v {
+			p = m.Diag
+		}
+		for i := 0; i < n; i++ {
+			probs = append(probs, p)
+		}
+	}
+	return stats.NewPoissonBinomial(probs)
+}
+
+// ExpectedPerturbedHistogram returns E[Y] = A·X for the uniform matrix.
+func ExpectedPerturbedHistogram(m UniformMatrix, x []float64) ([]float64, error) {
+	return m.MulVec(x)
+}
+
+// TrueHistogram is a convenience wrapper exposing the dataset histogram
+// through the core package for callers assembling end-to-end pipelines.
+func TrueHistogram(db *dataset.Database) ([]float64, error) {
+	return db.Histogram()
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestReconstructHistogramEndToEnd(t *testing.T) {
+	// Perturb a sizable database with DET-GD and check that the
+	// reconstructed histogram is close to the truth.
+	s := testSchema(t)
+	db := dataset.NewDatabase(s, 0)
+	rng := rand.New(rand.NewSource(101))
+	const n = 120000
+	for i := 0; i < n; i++ {
+		// Skewed distribution to make reconstruction non-trivial.
+		rec := dataset.Record{0, 0, 0}
+		if rng.Float64() < 0.4 {
+			rec = dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}
+		}
+		if err := db.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdb, err := PerturbDatabase(db, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := pdb.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := ReconstructHistogram(m, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := db.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr, err := RelativeError(xhat, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr > 0.10 {
+		t.Fatalf("relative reconstruction error %v too large", relErr)
+	}
+	// Cross-check closed-form solve against the dense LU path.
+	xhat2, err := ReconstructHistogramDense(m.Dense(), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xhat {
+		if !approx(xhat[i], xhat2[i], 1e-8) {
+			t.Fatalf("closed-form vs LU reconstruction differ at %d: %v vs %v", i, xhat[i], xhat2[i])
+		}
+	}
+}
+
+func TestTheoremOneBoundHolds(t *testing.T) {
+	// ‖X̂−X‖/‖X‖ ≤ cond · ‖Y−E(Y)‖/‖E(Y)‖ must hold on every run.
+	s := testSchema(t)
+	m, err := NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		db := dataset.NewDatabase(s, 0)
+		for i := 0; i < 30000; i++ {
+			if err := db.Append(dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pdb, err := PerturbDatabase(db, p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := db.Histogram()
+		y, _ := pdb.Histogram()
+		ey, err := ExpectedPerturbedHistogram(m, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xhat, err := ReconstructHistogram(m, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs, err := RelativeError(xhat, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := EstimationErrorBound(m.Cond(), y, ey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lhs > rhs+1e-9 {
+			t.Fatalf("trial %d: Theorem 1 violated: %v > %v", trial, lhs, rhs)
+		}
+	}
+}
+
+func TestPerturbedCountDistribution(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, s.DomainSize())
+	x[0] = 50
+	x[5] = 30
+	x[10] = 20
+	d, err := PerturbedCountDistribution(m, x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 100 {
+		t.Fatalf("trials = %d, want 100", d.N())
+	}
+	// E[Y_5] = (A·X)[5].
+	ey, err := ExpectedPerturbedHistogram(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(d.Mean(), ey[5], 1e-10) {
+		t.Fatalf("Poisson-Binomial mean %v vs A·X %v", d.Mean(), ey[5])
+	}
+	if _, err := PerturbedCountDistribution(m, x[:3], 0); !errors.Is(err, ErrMatrix) {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := PerturbedCountDistribution(m, x, -1); !errors.Is(err, ErrMatrix) {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestErrorHelpersValidate(t *testing.T) {
+	if _, err := EstimationErrorBound(1, []float64{1}, []float64{1, 2}); !errors.Is(err, ErrMatrix) {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := EstimationErrorBound(1, []float64{1}, []float64{0}); !errors.Is(err, ErrMatrix) {
+		t.Fatal("zero expectation accepted")
+	}
+	if _, err := RelativeError([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMatrix) {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RelativeError([]float64{1}, []float64{0}); !errors.Is(err, ErrMatrix) {
+		t.Fatal("zero truth accepted")
+	}
+	v, err := RelativeError([]float64{1, 2}, []float64{1, 2})
+	if err != nil || v != 0 {
+		t.Fatalf("identical vectors: err=%v rel=%v", err, v)
+	}
+}
+
+func TestTrueHistogramWrapper(t *testing.T) {
+	db, err := dataset.GenerateCensus(50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := TrueHistogram(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range h {
+		total += c
+	}
+	if total != 50 {
+		t.Fatalf("histogram total %v", total)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: marginalization composes — taking the Eq. 28 marginal to n1
+// and then to n2 equals marginalizing directly to n2, whenever the
+// divisibility chain n2 | n1 | N holds. This is what lets Apriori reuse
+// one matrix family across every pass.
+func TestMarginalCompositionProperty(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw uint8, gRaw float64) bool {
+		// Build N = a·b·c with small factors ≥ 2; n1 = a·b, n2 = a.
+		a := 2 + int(aRaw%5)
+		b := 2 + int(bRaw%5)
+		c := 2 + int(cRaw%5)
+		gamma := 1.5 + math.Abs(math.Mod(gRaw, 50))
+		n := a * b * c
+		m, err := NewGammaDiagonal(n, gamma)
+		if err != nil {
+			return false
+		}
+		n1, n2 := a*b, a
+		via1, err := m.Marginal(n1)
+		if err != nil {
+			return false
+		}
+		twoStep, err := via1.Marginal(n2)
+		if err != nil {
+			return false
+		}
+		direct, err := m.Marginal(n2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(twoStep.Diag-direct.Diag) < 1e-12 &&
+			math.Abs(twoStep.Off-direct.Off) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the amplification of the materialized dense matrix equals
+// the closed-form Gamma() for every valid gamma-diagonal matrix.
+func TestAmplificationMatchesGammaProperty(t *testing.T) {
+	f := func(nRaw uint8, gRaw float64) bool {
+		n := 2 + int(nRaw%30)
+		gamma := 1.1 + math.Abs(math.Mod(gRaw, 100))
+		m, err := NewGammaDiagonal(n, gamma)
+		if err != nil {
+			return false
+		}
+		amp := Amplification(m.Dense())
+		return math.Abs(amp-m.Gamma()) < 1e-9*gamma
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every feasible randomization keeps the matrix Markov, keeps
+// its marginals Markov, and the mean of ±r realizations recovers the
+// base matrix entries exactly.
+func TestRandomizeInvariantsProperty(t *testing.T) {
+	f := func(nRaw uint8, gRaw, fracRaw float64) bool {
+		n := 3 + int(nRaw%20)
+		gamma := 2 + math.Abs(math.Mod(gRaw, 30))
+		frac := math.Abs(math.Mod(fracRaw, 1))
+		m, err := NewGammaDiagonal(n, gamma)
+		if err != nil {
+			return false
+		}
+		r := frac * m.MaxRandomization()
+		plus, err := m.Randomize(r)
+		if err != nil {
+			return false
+		}
+		minus, err := m.Randomize(-r)
+		if err != nil {
+			return false
+		}
+		if plus.Validate() != nil || minus.Validate() != nil {
+			return false
+		}
+		if math.Abs((plus.Diag+minus.Diag)/2-m.Diag) > 1e-12 {
+			return false
+		}
+		// Marginals of realizations remain Markov.
+		for _, sub := range []int{1, n} {
+			if n%sub != 0 {
+				continue
+			}
+			mg, err := plus.Marginal(sub)
+			if err != nil {
+				return false
+			}
+			if sub >= 2 && mg.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Solve is the exact inverse of MulVec for well-conditioned
+// gamma-diagonal matrices, for arbitrary integer-count vectors.
+func TestSolveMulVecInverseProperty(t *testing.T) {
+	m, err := NewGammaDiagonal(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [12]uint16) bool {
+		x := make([]float64, 12)
+		for i, v := range raw {
+			x[i] = float64(v)
+		}
+		y, err := m.MulVec(x)
+		if err != nil {
+			return false
+		}
+		back, err := m.Solve(y)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-7*(1+x[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

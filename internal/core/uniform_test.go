@@ -1,0 +1,345 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestNewGammaDiagonalBasics(t *testing.T) {
+	m, err := NewGammaDiagonal(5, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := 1.0 / (19 + 5 - 1)
+	if !approx(m.Diag, 19*x, 1e-15) || !approx(m.Off, x, 1e-15) {
+		t.Fatalf("entries %v/%v, want %v/%v", m.Diag, m.Off, 19*x, x)
+	}
+	if !approx(m.Gamma(), 19, 1e-12) {
+		t.Fatalf("Gamma() = %v", m.Gamma())
+	}
+	if m.X() != m.Off {
+		t.Fatal("X() must equal Off for gamma-diagonal")
+	}
+	if !m.Dense().IsStochasticColumns(1e-12) {
+		t.Fatal("gamma-diagonal matrix not column-stochastic")
+	}
+}
+
+func TestNewGammaDiagonalErrors(t *testing.T) {
+	if _, err := NewGammaDiagonal(1, 19); !errors.Is(err, ErrMatrix) {
+		t.Fatal("order 1 accepted")
+	}
+	if _, err := NewGammaDiagonal(5, 1); !errors.Is(err, ErrMatrix) {
+		t.Fatal("gamma = 1 accepted")
+	}
+	if _, err := NewGammaDiagonal(5, 0.5); !errors.Is(err, ErrMatrix) {
+		t.Fatal("gamma < 1 accepted")
+	}
+}
+
+func TestUniformValidate(t *testing.T) {
+	bad := []UniformMatrix{
+		{N: 1, Diag: 1, Off: 0},
+		{N: 3, Diag: -0.1, Off: 0.55},
+		{N: 3, Diag: 0.5, Off: -0.1},
+		{N: 3, Diag: 0.5, Off: 0.5}, // sums to 1.5
+	}
+	for _, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrMatrix) {
+			t.Errorf("matrix %+v accepted", m)
+		}
+	}
+}
+
+func TestCondClosedFormPaper(t *testing.T) {
+	// Section 3: condition number of the gamma-diagonal matrix is
+	// (γ+n−1)/(γ−1), e.g. CENSUS n=2000, γ=19 → ≈112.1.
+	cases := []struct {
+		n     int
+		gamma float64
+	}{
+		{2000, 19}, {7500, 19}, {10, 3}, {100, 50},
+	}
+	for _, c := range cases {
+		m, err := NewGammaDiagonal(c.n, c.gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (c.gamma + float64(c.n) - 1) / (c.gamma - 1)
+		if !approx(m.Cond(), want, 1e-12) {
+			t.Fatalf("n=%d γ=%v: Cond=%v, want %v", c.n, c.gamma, m.Cond(), want)
+		}
+	}
+}
+
+func TestCondMatchesJacobi(t *testing.T) {
+	for _, n := range []int{2, 5, 12, 30} {
+		m, err := NewGammaDiagonal(n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jac, err := linalg.Cond2Symmetric(m.Dense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(m.Cond(), jac, 1e-8) {
+			t.Fatalf("n=%d: closed form %v vs Jacobi %v", n, m.Cond(), jac)
+		}
+	}
+}
+
+func TestGammaDiagonalIsOptimalCond(t *testing.T) {
+	// Section 3's optimality theorem: no symmetric column-stochastic
+	// matrix with row-ratio ≤ γ can have condition number below
+	// (γ+n−1)/(γ−1). Spot-check against random valid competitors.
+	const n, gamma = 6, 9.0
+	gd, err := NewGammaDiagonal(n, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := gd.Cond()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		// Random symmetric stochastic matrix under the gamma constraint:
+		// start from gamma-diagonal and apply random symmetric
+		// perturbations that preserve column sums, then check constraints.
+		a := gd.Dense()
+		for k := 0; k < 5; k++ {
+			i, j, l := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if i == j || j == l || i == l {
+				continue
+			}
+			eps := (rng.Float64() - 0.5) * 0.01
+			// Symmetric update preserving row and column sums.
+			a.Add(i, j, eps)
+			a.Add(j, i, eps)
+			a.Add(i, l, -eps)
+			a.Add(l, i, -eps)
+			a.Add(j, l, -eps)
+			a.Add(l, j, -eps)
+			a.Add(j, j, eps)
+			a.Add(l, l, eps)
+			a.Add(i, i, 0)
+		}
+		if !a.IsStochasticColumns(1e-9) || !a.IsSymmetric(1e-9) {
+			continue
+		}
+		if Amplification(a) > gamma {
+			continue
+		}
+		c, err := linalg.Cond2Symmetric(a)
+		if err != nil {
+			continue
+		}
+		if c < best-1e-9 {
+			t.Fatalf("found symmetric constrained matrix with cond %v < optimal %v", c, best)
+		}
+	}
+}
+
+func TestSolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{2, 7, 40} {
+		m, err := NewGammaDiagonal(n, 19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.Float64() * 100
+		}
+		fast, err := m.Solve(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := linalg.Solve(m.Dense(), y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fast {
+			if !approx(fast[i], slow[i], 1e-9) {
+				t.Fatalf("n=%d: closed-form solve[%d]=%v vs LU %v", n, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestSolveRoundTripProperty(t *testing.T) {
+	m, err := NewGammaDiagonal(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [8]float64) bool {
+		y := make([]float64, 8)
+		for i, v := range raw {
+			y[i] = math.Mod(math.Abs(v), 1000)
+		}
+		x, err := m.Solve(y)
+		if err != nil {
+			return false
+		}
+		back, err := m.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range y {
+			if math.Abs(back[i]-y[i]) > 1e-8*(1+math.Abs(y[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	m, _ := NewGammaDiagonal(4, 19)
+	if _, err := m.Solve([]float64{1, 2}); !errors.Is(err, ErrMatrix) {
+		t.Fatal("length mismatch accepted")
+	}
+	sing := UniformMatrix{N: 4, Diag: 0.25, Off: 0.25}
+	if _, err := sing.Solve([]float64{1, 2, 3, 4}); !errors.Is(err, ErrMatrix) {
+		t.Fatal("singular matrix solve accepted")
+	}
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrMatrix) {
+		t.Fatal("MulVec length mismatch accepted")
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	m, _ := NewGammaDiagonal(9, 4)
+	x := []float64{1, 0, 2, 0, 3, 0, 4, 0, 5}
+	fast, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Dense().MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if !approx(fast[i], slow[i], 1e-12) {
+			t.Fatalf("MulVec[%d] = %v vs dense %v", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestMarginalEq28(t *testing.T) {
+	// Full domain 24 = 3·2·4; marginal over a sub-domain of size 6.
+	m, err := NewGammaDiagonal(24, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Marginal(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.Off
+	ratio := 24.0 / 6.0
+	if !approx(sub.Diag, 19*x+(ratio-1)*x, 1e-14) {
+		t.Fatalf("marginal diag %v", sub.Diag)
+	}
+	if !approx(sub.Off, ratio*x, 1e-14) {
+		t.Fatalf("marginal off %v", sub.Off)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("marginal not a valid Markov matrix: %v", err)
+	}
+	// Figure 4 claim: marginal condition number equals the full matrix's.
+	if !approx(sub.Cond(), m.Cond(), 1e-10) {
+		t.Fatalf("marginal cond %v != full cond %v", sub.Cond(), m.Cond())
+	}
+}
+
+func TestMarginalErrors(t *testing.T) {
+	m, _ := NewGammaDiagonal(24, 19)
+	if _, err := m.Marginal(0); !errors.Is(err, ErrMatrix) {
+		t.Fatal("sub-size 0 accepted")
+	}
+	if _, err := m.Marginal(25); !errors.Is(err, ErrMatrix) {
+		t.Fatal("oversize accepted")
+	}
+	if _, err := m.Marginal(7); !errors.Is(err, ErrMatrix) {
+		t.Fatal("non-divisor accepted")
+	}
+}
+
+func TestMarginalFullIsIdentityOp(t *testing.T) {
+	m, _ := NewGammaDiagonal(24, 19)
+	sub, err := m.Marginal(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sub.Diag, m.Diag, 1e-15) || !approx(sub.Off, m.Off, 1e-15) {
+		t.Fatal("Marginal(n) must be the matrix itself")
+	}
+}
+
+func TestRandomizeExpectationAndBounds(t *testing.T) {
+	m, _ := NewGammaDiagonal(10, 19)
+	alpha := m.MaxRandomization()
+	if alpha <= 0 {
+		t.Fatalf("MaxRandomization = %v", alpha)
+	}
+	plus, err := m.Randomize(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minus, err := m.Randomize(-alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expectation of the two extremes is the base matrix.
+	if !approx((plus.Diag+minus.Diag)/2, m.Diag, 1e-12) {
+		t.Fatal("Randomize not mean-preserving on diagonal")
+	}
+	if !approx((plus.Off+minus.Off)/2, m.Off, 1e-12) {
+		t.Fatal("Randomize not mean-preserving off diagonal")
+	}
+	// Realizations remain valid Markov matrices.
+	if err := plus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := minus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Randomize(alpha * 10); !errors.Is(err, ErrMatrix) {
+		t.Fatal("out-of-range r accepted")
+	}
+}
+
+func TestEigenvaluesMarkov(t *testing.T) {
+	m, _ := NewGammaDiagonal(13, 19)
+	small, large := m.Eigenvalues()
+	if !approx(large, 1, 1e-12) {
+		t.Fatalf("Markov dominant eigenvalue %v", large)
+	}
+	if !approx(small, m.Off*(19-1), 1e-12) {
+		t.Fatalf("small eigenvalue %v", small)
+	}
+}
+
+func TestGammaDegenerate(t *testing.T) {
+	if g := (UniformMatrix{N: 3, Diag: 0, Off: 0.5}).Gamma(); g != 0 {
+		t.Fatalf("Gamma = %v, want 0", g)
+	}
+	if g := (UniformMatrix{N: 3, Diag: 0, Off: 0}).Gamma(); g != 1 {
+		t.Fatalf("Gamma of zero matrix = %v, want 1", g)
+	}
+	if g := (UniformMatrix{N: 3, Diag: 1, Off: 0}).Gamma(); !math.IsInf(g, 1) {
+		t.Fatalf("Gamma of identity = %v, want +Inf", g)
+	}
+	if c := (UniformMatrix{N: 3, Diag: 0.5, Off: 0.5}).Cond(); !math.IsInf(c, 1) {
+		t.Fatalf("Cond of singular = %v, want +Inf", c)
+	}
+}

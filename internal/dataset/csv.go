@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCSV is returned for malformed CSV input.
+var ErrCSV = errors.New("dataset: bad csv")
+
+// WriteCSV serializes the database with a header row of attribute names
+// and one row of category names per record.
+func WriteCSV(w io.Writer, db *Database) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, db.Schema.M())
+	for j, a := range db.Schema.Attrs {
+		header[j] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, db.Schema.M())
+	for i, rec := range db.Records {
+		if err := db.Schema.Validate(rec); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		for j, v := range rec {
+			row[j] = db.Schema.Attrs[j].Categories[v]
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a database in WriteCSV's format against the given schema.
+// The header must name the schema's attributes in order.
+func ReadCSV(r io.Reader, s *Schema) (*Database, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrCSV, err)
+	}
+	if len(header) != s.M() {
+		return nil, fmt.Errorf("%w: header has %d columns, schema has %d attributes", ErrCSV, len(header), s.M())
+	}
+	for j, name := range header {
+		if name != s.Attrs[j].Name {
+			return nil, fmt.Errorf("%w: column %d is %q, schema expects %q", ErrCSV, j, name, s.Attrs[j].Name)
+		}
+	}
+	db := NewDatabase(s, 0)
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrCSV, line+1, err)
+		}
+		line++
+		rec := make(Record, s.M())
+		for j, cell := range row {
+			v := s.Attrs[j].CategoryIndex(cell)
+			if v < 0 {
+				return nil, fmt.Errorf("%w: line %d: unknown category %q for attribute %q", ErrCSV, line, cell, s.Attrs[j].Name)
+			}
+			rec[j] = v
+		}
+		if err := db.Append(rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return db, nil
+}

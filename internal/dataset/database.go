@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// Database is a set of N records conforming to one schema, the object U
+// (or its perturbed counterpart V) of the paper.
+type Database struct {
+	Schema  *Schema
+	Records []Record
+}
+
+// NewDatabase creates an empty database with capacity hint n.
+func NewDatabase(s *Schema, n int) *Database {
+	return &Database{Schema: s, Records: make([]Record, 0, n)}
+}
+
+// N returns the number of records.
+func (db *Database) N() int { return len(db.Records) }
+
+// Append validates and adds a record.
+func (db *Database) Append(rec Record) error {
+	if err := db.Schema.Validate(rec); err != nil {
+		return err
+	}
+	db.Records = append(db.Records, rec)
+	return nil
+}
+
+// Histogram returns X: the count of records at each index of I_U
+// (length |S_U|). This is the vector the FRAPP reconstruction estimates.
+func (db *Database) Histogram() ([]float64, error) {
+	h := make([]float64, db.Schema.DomainSize())
+	for i, rec := range db.Records {
+		idx, err := db.Schema.Index(rec)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		h[idx]++
+	}
+	return h, nil
+}
+
+// SubHistogram returns the marginal histogram over the attribute subset
+// cols (length SubdomainSize(cols)), used for itemset-support
+// reconstruction in each Apriori pass.
+func (db *Database) SubHistogram(cols []int) ([]float64, error) {
+	n, err := db.Schema.SubdomainSize(cols)
+	if err != nil {
+		return nil, err
+	}
+	h := make([]float64, n)
+	for i, rec := range db.Records {
+		idx, err := db.Schema.SubIndex(rec, cols)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		h[idx]++
+	}
+	return h, nil
+}
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase(db.Schema, db.N())
+	for _, rec := range db.Records {
+		cp := make(Record, len(rec))
+		copy(cp, rec)
+		out.Records = append(out.Records, cp)
+	}
+	return out
+}
+
+// ValueCounts returns, for attribute position j, the count of each
+// category value.
+func (db *Database) ValueCounts(j int) ([]int, error) {
+	if j < 0 || j >= db.Schema.M() {
+		return nil, fmt.Errorf("%w: attribute position %d out of range", ErrSchema, j)
+	}
+	counts := make([]int, db.Schema.Attrs[j].Cardinality())
+	for _, rec := range db.Records {
+		counts[rec[j]]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDatabaseAppendValidate(t *testing.T) {
+	s := smallSchema(t)
+	db := NewDatabase(s, 4)
+	if err := db.Append(Record{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(Record{9, 0, 0}); !errors.Is(err, ErrSchema) {
+		t.Fatal("invalid record accepted")
+	}
+	if db.N() != 1 {
+		t.Fatalf("N = %d", db.N())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := smallSchema(t)
+	db := NewDatabase(s, 4)
+	recs := []Record{{0, 0, 0}, {0, 0, 0}, {1, 1, 3}, {2, 0, 2}}
+	for _, r := range recs {
+		if err := db.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := db.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 24 {
+		t.Fatalf("histogram length %d", len(h))
+	}
+	var total float64
+	for _, c := range h {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("histogram total %v", total)
+	}
+	idx, _ := s.Index(Record{0, 0, 0})
+	if h[idx] != 2 {
+		t.Fatalf("h[{0,0,0}] = %v, want 2", h[idx])
+	}
+}
+
+func TestSubHistogramMarginalizes(t *testing.T) {
+	s := smallSchema(t)
+	db := NewDatabase(s, 0)
+	recs := []Record{{0, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 3}}
+	for _, r := range recs {
+		if err := db.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := db.SubHistogram([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 3 || h[1] != 1 || h[2] != 0 {
+		t.Fatalf("SubHistogram over a = %v", h)
+	}
+	// Marginal of full histogram must equal sub-histogram.
+	full, _ := db.Histogram()
+	hAC, err := db.SubHistogram([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range full {
+		rec, _ := s.Decode(idx)
+		sub, _ := s.SubIndex(rec, []int{0, 2})
+		hAC[sub] -= full[idx]
+	}
+	for i, v := range hAC {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("sub-histogram inconsistent with full histogram at %d: %v", i, v)
+		}
+	}
+}
+
+func TestValueCounts(t *testing.T) {
+	s := smallSchema(t)
+	db := NewDatabase(s, 0)
+	for _, r := range []Record{{0, 0, 0}, {0, 1, 0}, {2, 0, 1}} {
+		if err := db.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := db.ValueCounts(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("ValueCounts = %v", counts)
+	}
+	if _, err := db.ValueCounts(7); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad attribute accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := smallSchema(t)
+	db := NewDatabase(s, 0)
+	if err := db.Append(Record{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	cp := db.Clone()
+	cp.Records[0][0] = 2
+	if db.Records[0][0] != 1 {
+		t.Fatal("Clone shares record storage")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db, err := GenerateCensus(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != db.N() {
+		t.Fatalf("round-trip N = %d, want %d", back.N(), db.N())
+	}
+	for i := range db.Records {
+		for j := range db.Records[i] {
+			if db.Records[i][j] != back.Records[i][j] {
+				t.Fatalf("record %d differs after round trip", i)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := smallSchema(t)
+	cases := []string{
+		"",                    // no header
+		"a,b\n",               // wrong column count
+		"a,b,x\n",             // wrong column name
+		"a,b,c\na0,b0,nope\n", // unknown category
+		"a,b,c\na0,b0\n",      // ragged row
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), s); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := GenerateHealth(500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHealth(500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		for j := range a.Records[i] {
+			if a.Records[i][j] != b.Records[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c, err := GenerateHealth(500, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Records {
+		for j := range a.Records[i] {
+			if a.Records[i][j] != c.Records[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGeneratorMarginalsRoughlyMatchModel(t *testing.T) {
+	m := CensusModel()
+	db, err := GenerateCensus(40000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "race=White" share should be near its effective mixture value;
+	// just sanity-check it is dominant as designed.
+	counts, err := db.ValueCounts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(counts[0]) / float64(db.N())
+	if frac < 0.60 || frac > 0.95 {
+		t.Fatalf("White share %v implausible for model %v", frac, m.Marginals[3])
+	}
+}
+
+func TestMixtureModelValidation(t *testing.T) {
+	s := smallSchema(t)
+	good := &MixtureModel{
+		Schema:    s,
+		Marginals: [][]float64{{1, 1, 1}, {1, 1}, {1, 1, 1, 1}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*MixtureModel{
+		{Schema: nil},
+		{Schema: s, Marginals: [][]float64{{1, 1, 1}}},
+		{Schema: s, Marginals: [][]float64{{1, 1}, {1, 1}, {1, 1, 1, 1}}},
+		{Schema: s, Marginals: [][]float64{{-1, 1, 1}, {1, 1}, {1, 1, 1, 1}}},
+		{Schema: s, Marginals: [][]float64{{0, 0, 0}, {1, 1}, {1, 1, 1, 1}}},
+		{Schema: s, Marginals: good.Marginals,
+			Profiles: []Profile{{Values: Record{0, 0}, Weight: 0.1, Fidelity: 1}}},
+		{Schema: s, Marginals: good.Marginals,
+			Profiles: []Profile{{Values: Record{0, 0, 0}, Weight: 2, Fidelity: 1}}},
+		{Schema: s, Marginals: good.Marginals,
+			Profiles: []Profile{{Values: Record{0, 0, 0}, Weight: 0.1, Fidelity: 2}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquiWidthBinnerBasics(t *testing.T) {
+	b, err := NewEquiWidthBinner("age", 15, 75, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bins() != 3 {
+		t.Fatalf("Bins = %d", b.Bins())
+	}
+	// Cuts at 35 and 55, mirroring Table 1's age partitioning.
+	if math.Abs(b.Cuts[0]-35) > 1e-12 || math.Abs(b.Cuts[1]-55) > 1e-12 {
+		t.Fatalf("cuts = %v", b.Cuts)
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{14, 0}, {15, 0}, {35, 0}, {35.01, 1}, {55, 1}, {56, 2}, {200, 2},
+	}
+	for _, c := range cases {
+		if got := b.Bin(c.v); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	attr := b.Attribute()
+	if attr.Name != "age" || attr.Cardinality() != 3 {
+		t.Fatalf("attribute %+v", attr)
+	}
+}
+
+func TestEquiWidthBinnerValidation(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		bins   int
+	}{
+		{0, 10, 1},
+		{10, 0, 5},
+		{0, 0, 5},
+		{math.NaN(), 10, 5},
+		{0, math.Inf(1), 5},
+	}
+	for _, c := range cases {
+		if _, err := NewEquiWidthBinner("x", c.lo, c.hi, c.bins); !errors.Is(err, ErrSchema) {
+			t.Errorf("range [%v,%v] bins=%d accepted", c.lo, c.hi, c.bins)
+		}
+	}
+}
+
+func TestEquiWidthBinMonotoneProperty(t *testing.T) {
+	b, err := NewEquiWidthBinner("x", -10, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, bb float64) bool {
+		if math.IsNaN(a) || math.IsNaN(bb) {
+			return true
+		}
+		if a > bb {
+			a, bb = bb, a
+		}
+		return b.Bin(a) <= b.Bin(bb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileBinnerBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 10000)
+	for i := range sample {
+		// Heavy skew: exponential-ish.
+		sample[i] = math.Exp(rng.NormFloat64())
+	}
+	b, err := NewQuantileBinner("skewed", sample, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, b.Bins())
+	for _, v := range sample {
+		counts[b.Bin(v)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(sample))
+		if frac < 0.1 || frac > 0.35 {
+			t.Fatalf("quantile bin %d holds %.1f%% of mass: %v", i, frac*100, counts)
+		}
+	}
+}
+
+func TestQuantileBinnerValidation(t *testing.T) {
+	if _, err := NewQuantileBinner("x", []float64{1, 2, 3}, 1); !errors.Is(err, ErrSchema) {
+		t.Fatal("1 bin accepted")
+	}
+	if _, err := NewQuantileBinner("x", []float64{1}, 3); !errors.Is(err, ErrSchema) {
+		t.Fatal("tiny sample accepted")
+	}
+	if _, err := NewQuantileBinner("x", []float64{1, math.NaN(), 3}, 2); !errors.Is(err, ErrSchema) {
+		t.Fatal("NaN sample accepted")
+	}
+	if _, err := NewQuantileBinner("x", []float64{5, 5, 5, 5}, 2); !errors.Is(err, ErrSchema) {
+		t.Fatal("constant sample accepted")
+	}
+	// Ties collapse duplicate cuts but still produce a valid binner.
+	b, err := NewQuantileBinner("x", []float64{1, 1, 1, 1, 1, 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bins() < 2 {
+		t.Fatalf("collapsed binner has %d bins", b.Bins())
+	}
+}
+
+func TestDiscretizeEndToEnd(t *testing.T) {
+	age, err := NewEquiWidthBinner("age", 0, 90, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	income, err := NewEquiWidthBinner("income", 0, 100000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]float64{
+		{25, 30000},
+		{70, 90000},
+		{45, 10000},
+	}
+	db, err := Discretize("people", []*Binner{age, income}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 3 {
+		t.Fatalf("N = %d", db.N())
+	}
+	if db.Schema.DomainSize() != 12 {
+		t.Fatalf("domain = %d", db.Schema.DomainSize())
+	}
+	if db.Records[0][0] != 0 || db.Records[1][0] != 2 || db.Records[2][0] != 1 {
+		t.Fatalf("age bins wrong: %v", db.Records)
+	}
+	// The discretized database plugs straight into the existing pipeline.
+	if _, err := db.Histogram(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	if _, err := Discretize("x", nil, nil); !errors.Is(err, ErrSchema) {
+		t.Fatal("no binners accepted")
+	}
+	b, _ := NewEquiWidthBinner("a", 0, 1, 2)
+	if _, err := Discretize("x", []*Binner{b}, [][]float64{{0.5, 0.5}}); !errors.Is(err, ErrSchema) {
+		t.Fatal("ragged row accepted")
+	}
+	if _, err := Discretize("x", []*Binner{b}, [][]float64{{math.NaN()}}); !errors.Is(err, ErrSchema) {
+		t.Fatal("NaN value accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIndexDecode exercises the record↔index bijection with arbitrary
+// indices: Decode must either reject the index or round-trip through
+// Index exactly.
+func FuzzIndexDecode(f *testing.F) {
+	s := CensusSchema()
+	f.Add(0)
+	f.Add(1999)
+	f.Add(-1)
+	f.Add(2000)
+	f.Add(12345)
+	f.Fuzz(func(t *testing.T, idx int) {
+		rec, err := s.Decode(idx)
+		if err != nil {
+			if idx >= 0 && idx < s.DomainSize() {
+				t.Fatalf("valid index %d rejected: %v", idx, err)
+			}
+			return
+		}
+		back, err := s.Index(rec)
+		if err != nil {
+			t.Fatalf("decoded record invalid: %v", err)
+		}
+		if back != idx {
+			t.Fatalf("round trip %d → %v → %d", idx, rec, back)
+		}
+	})
+}
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV reader: it must never
+// panic, and anything it accepts must re-serialize losslessly.
+func FuzzReadCSV(f *testing.F) {
+	s := HealthSchema()
+	var good bytes.Buffer
+	db, err := GenerateHealth(5, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteCSV(&good, db); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("AGE\n"))
+	f.Add([]byte("a,b\n1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ReadCSV(bytes.NewReader(data), s)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, parsed); err != nil {
+			t.Fatalf("accepted database failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&out, s)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != parsed.N() {
+			t.Fatalf("round trip lost records: %d vs %d", back.N(), parsed.N())
+		}
+	})
+}
+
+// FuzzBinner checks that arbitrary (range, value) combinations keep the
+// bin index in range.
+func FuzzBinner(f *testing.F) {
+	f.Add(0.0, 10.0, 4, 5.0)
+	f.Add(-100.0, 100.0, 2, 0.0)
+	f.Fuzz(func(t *testing.T, lo, hi float64, bins int, v float64) {
+		if bins > 1000 {
+			bins = 1000
+		}
+		b, err := NewEquiWidthBinner("x", lo, hi, bins)
+		if err != nil {
+			return
+		}
+		got := b.Bin(v)
+		if got < 0 || got >= b.Bins() {
+			t.Fatalf("Bin(%v) = %d out of [0,%d)", v, got, b.Bins())
+		}
+	})
+}

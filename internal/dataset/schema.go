@@ -1,0 +1,222 @@
+// Package dataset implements the categorical data model of the FRAPP
+// paper (Section 2): databases of N records over M categorical
+// attributes, the bijection between records and the index set
+// I_U = {0,…,|S_U|−1}, histograms over that index set, CSV
+// serialization, and synthetic generators for the paper's CENSUS and
+// HEALTH evaluation datasets.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrSchema is returned for malformed schemas or records that do not
+// conform to a schema.
+var ErrSchema = errors.New("dataset: schema violation")
+
+// Attribute is one categorical attribute: a name and its finite category
+// domain S_U^j.
+type Attribute struct {
+	Name       string
+	Categories []string
+}
+
+// Cardinality returns |S_U^j|, the number of categories.
+func (a Attribute) Cardinality() int { return len(a.Categories) }
+
+// CategoryIndex returns the index of the named category, or −1 if absent.
+func (a Attribute) CategoryIndex(name string) int {
+	for i, c := range a.Categories {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Record is one database tuple: the category index chosen for each
+// attribute, in schema order. Values are 0-based.
+type Record []int
+
+// Schema describes the record domain S_U = Π_j S_U^j.
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+
+	// radix[j] = Π_{k>j} |S_U^k|, the mixed-radix place value of
+	// attribute j in the record↔index bijection.
+	radix []int
+	size  int
+}
+
+// NewSchema validates the attributes and precomputes the index mapping.
+// Every attribute must have at least two categories (a single-category
+// attribute carries no information and breaks perturbation-matrix
+// invertibility assumptions).
+func NewSchema(name string, attrs []Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("%w: no attributes", ErrSchema)
+	}
+	seen := make(map[string]bool, len(attrs))
+	size := 1
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed attribute", ErrSchema)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("%w: duplicate attribute %q", ErrSchema, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Cardinality() < 2 {
+			return nil, fmt.Errorf("%w: attribute %q has %d categories, need ≥2", ErrSchema, a.Name, a.Cardinality())
+		}
+		catSeen := make(map[string]bool, a.Cardinality())
+		for _, c := range a.Categories {
+			if catSeen[c] {
+				return nil, fmt.Errorf("%w: attribute %q has duplicate category %q", ErrSchema, a.Name, c)
+			}
+			catSeen[c] = true
+		}
+		if size > 1<<40/a.Cardinality() {
+			return nil, fmt.Errorf("%w: domain size overflow", ErrSchema)
+		}
+		size *= a.Cardinality()
+	}
+	s := &Schema{Name: name, Attrs: attrs, size: size}
+	s.radix = make([]int, len(attrs))
+	r := 1
+	for j := len(attrs) - 1; j >= 0; j-- {
+		s.radix[j] = r
+		r *= attrs[j].Cardinality()
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for statically known
+// schemas such as the built-in CENSUS and HEALTH ones.
+func MustSchema(name string, attrs []Attribute) *Schema {
+	s, err := NewSchema(name, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// M returns the number of attributes.
+func (s *Schema) M() int { return len(s.Attrs) }
+
+// DomainSize returns |S_U| = Π_j |S_U^j|.
+func (s *Schema) DomainSize() int { return s.size }
+
+// Cardinalities returns the per-attribute domain sizes.
+func (s *Schema) Cardinalities() []int {
+	out := make([]int, len(s.Attrs))
+	for j, a := range s.Attrs {
+		out[j] = a.Cardinality()
+	}
+	return out
+}
+
+// SubdomainSize returns n_Cs = Π_{j∈cols} |S_U^j| for a subset of
+// attribute positions, the order of the marginal reconstruction matrix in
+// Section 6 of the paper.
+func (s *Schema) SubdomainSize(cols []int) (int, error) {
+	n := 1
+	for _, j := range cols {
+		if j < 0 || j >= len(s.Attrs) {
+			return 0, fmt.Errorf("%w: attribute position %d out of range", ErrSchema, j)
+		}
+		n *= s.Attrs[j].Cardinality()
+	}
+	return n, nil
+}
+
+// Validate checks that rec conforms to the schema.
+func (s *Schema) Validate(rec Record) error {
+	if len(rec) != len(s.Attrs) {
+		return fmt.Errorf("%w: record has %d values, schema has %d attributes", ErrSchema, len(rec), len(s.Attrs))
+	}
+	for j, v := range rec {
+		if v < 0 || v >= s.Attrs[j].Cardinality() {
+			return fmt.Errorf("%w: value %d out of range for attribute %q", ErrSchema, v, s.Attrs[j].Name)
+		}
+	}
+	return nil
+}
+
+// Index maps a record to its position in I_U via mixed-radix encoding.
+// The record must be valid.
+func (s *Schema) Index(rec Record) (int, error) {
+	if err := s.Validate(rec); err != nil {
+		return 0, err
+	}
+	idx := 0
+	for j, v := range rec {
+		idx += v * s.radix[j]
+	}
+	return idx, nil
+}
+
+// Decode is the inverse of Index.
+func (s *Schema) Decode(idx int) (Record, error) {
+	if idx < 0 || idx >= s.size {
+		return nil, fmt.Errorf("%w: index %d out of range [0,%d)", ErrSchema, idx, s.size)
+	}
+	rec := make(Record, len(s.Attrs))
+	for j := range s.Attrs {
+		rec[j] = idx / s.radix[j]
+		idx %= s.radix[j]
+	}
+	return rec, nil
+}
+
+// SubIndex maps the projection of rec onto the attribute positions cols to
+// an index in [0, SubdomainSize(cols)), using the same mixed-radix order.
+func (s *Schema) SubIndex(rec Record, cols []int) (int, error) {
+	if err := s.Validate(rec); err != nil {
+		return 0, err
+	}
+	idx := 0
+	for _, j := range cols {
+		if j < 0 || j >= len(s.Attrs) {
+			return 0, fmt.Errorf("%w: attribute position %d out of range", ErrSchema, j)
+		}
+		idx = idx*s.Attrs[j].Cardinality() + rec[j]
+	}
+	return idx, nil
+}
+
+// DecodeSub is the inverse of SubIndex for the attribute subset cols: it
+// returns the projected values in cols order.
+func (s *Schema) DecodeSub(idx int, cols []int) ([]int, error) {
+	n, err := s.SubdomainSize(cols)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= n {
+		return nil, fmt.Errorf("%w: sub-index %d out of range [0,%d)", ErrSchema, idx, n)
+	}
+	vals := make([]int, len(cols))
+	for k := len(cols) - 1; k >= 0; k-- {
+		card := s.Attrs[cols[k]].Cardinality()
+		vals[k] = idx % card
+		idx /= card
+	}
+	return vals, nil
+}
+
+// String renders a compact schema description.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(", s.Name)
+	for j, a := range s.Attrs {
+		if j > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s:%d", a.Name, a.Cardinality())
+	}
+	fmt.Fprintf(&sb, ") |S_U|=%d", s.size)
+	return sb.String()
+}

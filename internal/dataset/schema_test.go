@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func smallSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("small", []Attribute{
+		{Name: "a", Categories: []string{"a0", "a1", "a2"}},
+		{Name: "b", Categories: []string{"b0", "b1"}},
+		{Name: "c", Categories: []string{"c0", "c1", "c2", "c3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attribute
+	}{
+		{"empty", nil},
+		{"unnamed", []Attribute{{Name: "", Categories: []string{"x", "y"}}}},
+		{"dup attr", []Attribute{
+			{Name: "a", Categories: []string{"x", "y"}},
+			{Name: "a", Categories: []string{"x", "y"}},
+		}},
+		{"one category", []Attribute{{Name: "a", Categories: []string{"x"}}}},
+		{"dup category", []Attribute{{Name: "a", Categories: []string{"x", "x"}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSchema(c.name, c.attrs); !errors.Is(err, ErrSchema) {
+			t.Errorf("%s: want ErrSchema, got %v", c.name, err)
+		}
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := smallSchema(t)
+	if s.M() != 3 {
+		t.Fatalf("M = %d", s.M())
+	}
+	if s.DomainSize() != 24 {
+		t.Fatalf("DomainSize = %d, want 24", s.DomainSize())
+	}
+	cards := s.Cardinalities()
+	if cards[0] != 3 || cards[1] != 2 || cards[2] != 4 {
+		t.Fatalf("Cardinalities = %v", cards)
+	}
+	if got := s.Attrs[0].CategoryIndex("a2"); got != 2 {
+		t.Fatalf("CategoryIndex = %d", got)
+	}
+	if got := s.Attrs[0].CategoryIndex("nope"); got != -1 {
+		t.Fatalf("CategoryIndex missing = %d", got)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestIndexDecodeRoundTrip(t *testing.T) {
+	s := smallSchema(t)
+	seen := make(map[int]bool)
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 4; c++ {
+				rec := Record{a, b, c}
+				idx, err := s.Index(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if idx < 0 || idx >= s.DomainSize() {
+					t.Fatalf("index %d out of range", idx)
+				}
+				if seen[idx] {
+					t.Fatalf("index %d repeated: mapping not injective", idx)
+				}
+				seen[idx] = true
+				back, err := s.Decode(idx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range rec {
+					if back[j] != rec[j] {
+						t.Fatalf("Decode(Index(%v)) = %v", rec, back)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != s.DomainSize() {
+		t.Fatalf("bijection covers %d of %d", len(seen), s.DomainSize())
+	}
+}
+
+func TestIndexRejectsInvalid(t *testing.T) {
+	s := smallSchema(t)
+	if _, err := s.Index(Record{0, 0}); !errors.Is(err, ErrSchema) {
+		t.Fatal("short record accepted")
+	}
+	if _, err := s.Index(Record{3, 0, 0}); !errors.Is(err, ErrSchema) {
+		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := s.Decode(-1); !errors.Is(err, ErrSchema) {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := s.Decode(24); !errors.Is(err, ErrSchema) {
+		t.Fatal("overflow index accepted")
+	}
+}
+
+func TestSubIndexRoundTrip(t *testing.T) {
+	s := smallSchema(t)
+	cols := []int{0, 2}
+	n, err := s.SubdomainSize(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("SubdomainSize = %d, want 12", n)
+	}
+	seen := make(map[int][]int)
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 4; c++ {
+				rec := Record{a, b, c}
+				idx, err := s.SubIndex(rec, cols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev, ok := seen[idx]; ok {
+					if prev[0] != a || prev[1] != c {
+						t.Fatalf("sub-index %d maps to both %v and (%d,%d)", idx, prev, a, c)
+					}
+				}
+				seen[idx] = []int{a, c}
+				vals, err := s.DecodeSub(idx, cols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vals[0] != a || vals[1] != c {
+					t.Fatalf("DecodeSub(%d) = %v, want (%d,%d)", idx, vals, a, c)
+				}
+			}
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("sub-bijection covers %d of 12", len(seen))
+	}
+}
+
+func TestSubIndexErrors(t *testing.T) {
+	s := smallSchema(t)
+	if _, err := s.SubIndex(Record{0, 0, 0}, []int{5}); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad column accepted")
+	}
+	if _, err := s.SubdomainSize([]int{-1}); !errors.Is(err, ErrSchema) {
+		t.Fatal("negative column accepted")
+	}
+	if _, err := s.DecodeSub(100, []int{0}); !errors.Is(err, ErrSchema) {
+		t.Fatal("overflow sub-index accepted")
+	}
+}
+
+func TestIndexBijectionPropertyCensus(t *testing.T) {
+	s := CensusSchema()
+	f := func(raw [6]uint8) bool {
+		rec := make(Record, s.M())
+		for j := range rec {
+			rec[j] = int(raw[j]) % s.Attrs[j].Cardinality()
+		}
+		idx, err := s.Index(rec)
+		if err != nil {
+			return false
+		}
+		back, err := s.Decode(idx)
+		if err != nil {
+			return false
+		}
+		for j := range rec {
+			if back[j] != rec[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperSchemas(t *testing.T) {
+	c := CensusSchema()
+	if c.M() != 6 {
+		t.Fatalf("CENSUS M = %d, want 6", c.M())
+	}
+	if c.DomainSize() != 2000 {
+		t.Fatalf("CENSUS |S_U| = %d, want 4·5·5·5·2·2 = 2000", c.DomainSize())
+	}
+	var censusCats int
+	for _, a := range c.Attrs {
+		censusCats += a.Cardinality()
+	}
+	if censusCats != 23 {
+		t.Fatalf("CENSUS total categories = %d, want 23", censusCats)
+	}
+
+	h := HealthSchema()
+	if h.M() != 7 {
+		t.Fatalf("HEALTH M = %d, want 7", h.M())
+	}
+	if h.DomainSize() != 7500 {
+		t.Fatalf("HEALTH |S_U| = %d, want 5·5·5·3·2·2·5 = 7500", h.DomainSize())
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustSchema("bad", nil)
+}

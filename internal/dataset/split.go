@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split randomly partitions a database into train and test sets with the
+// given test fraction. Records are shared (not copied); the source
+// database is not modified.
+func Split(db *Database, testFraction float64, rng *rand.Rand) (train, test *Database, err error) {
+	if !(testFraction > 0 && testFraction < 1) {
+		return nil, nil, fmt.Errorf("%w: test fraction %v not in (0,1)", ErrSchema, testFraction)
+	}
+	if db.N() < 2 {
+		return nil, nil, fmt.Errorf("%w: need at least 2 records to split", ErrSchema)
+	}
+	perm := rng.Perm(db.N())
+	nTest := int(float64(db.N()) * testFraction)
+	if nTest == 0 {
+		nTest = 1
+	}
+	if nTest == db.N() {
+		nTest = db.N() - 1
+	}
+	test = NewDatabase(db.Schema, nTest)
+	train = NewDatabase(db.Schema, db.N()-nTest)
+	for i, idx := range perm {
+		if i < nTest {
+			test.Records = append(test.Records, db.Records[idx])
+		} else {
+			train.Records = append(train.Records, db.Records[idx])
+		}
+	}
+	return train, test, nil
+}
+
+// Sample returns a uniform random subsample of n records (without
+// replacement). Records are shared, not copied.
+func Sample(db *Database, n int, rng *rand.Rand) (*Database, error) {
+	if n < 1 || n > db.N() {
+		return nil, fmt.Errorf("%w: sample size %d for %d records", ErrSchema, n, db.N())
+	}
+	perm := rng.Perm(db.N())
+	out := NewDatabase(db.Schema, n)
+	for _, idx := range perm[:n] {
+		out.Records = append(out.Records, db.Records[idx])
+	}
+	return out, nil
+}
+
+// StratifiedSplit partitions by attribute value so the train and test
+// sets preserve each category's share of the class attribute — useful
+// when evaluating classifiers on imbalanced labels.
+func StratifiedSplit(db *Database, classAttr int, testFraction float64, rng *rand.Rand) (train, test *Database, err error) {
+	if classAttr < 0 || classAttr >= db.Schema.M() {
+		return nil, nil, fmt.Errorf("%w: class attribute %d out of range", ErrSchema, classAttr)
+	}
+	if !(testFraction > 0 && testFraction < 1) {
+		return nil, nil, fmt.Errorf("%w: test fraction %v not in (0,1)", ErrSchema, testFraction)
+	}
+	byClass := make([][]int, db.Schema.Attrs[classAttr].Cardinality())
+	for i, rec := range db.Records {
+		byClass[rec[classAttr]] = append(byClass[rec[classAttr]], i)
+	}
+	train = NewDatabase(db.Schema, 0)
+	test = NewDatabase(db.Schema, 0)
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+		nTest := int(float64(len(idxs)) * testFraction)
+		for i, idx := range idxs {
+			if i < nTest {
+				test.Records = append(test.Records, db.Records[idx])
+			} else {
+				train.Records = append(train.Records, db.Records[idx])
+			}
+		}
+	}
+	if train.N() == 0 || test.N() == 0 {
+		return nil, nil, fmt.Errorf("%w: split produced an empty side (n=%d, fraction=%v)", ErrSchema, db.N(), testFraction)
+	}
+	return train, test, nil
+}

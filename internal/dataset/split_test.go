@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitSizesAndDisjointness(t *testing.T) {
+	db, err := GenerateCensus(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := Split(db, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N()+test.N() != db.N() {
+		t.Fatalf("split loses records: %d + %d != %d", train.N(), test.N(), db.N())
+	}
+	if test.N() != 250 {
+		t.Fatalf("test size %d, want 250", test.N())
+	}
+	if train.Schema != db.Schema || test.Schema != db.Schema {
+		t.Fatal("schemas not preserved")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	db, _ := GenerateCensus(10, 6)
+	rng := rand.New(rand.NewSource(2))
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := Split(db, f, rng); !errors.Is(err, ErrSchema) {
+			t.Errorf("fraction %v accepted", f)
+		}
+	}
+	tiny := NewDatabase(db.Schema, 0)
+	if _, _, err := Split(tiny, 0.5, rng); !errors.Is(err, ErrSchema) {
+		t.Fatal("empty database accepted")
+	}
+	// Extreme fractions still leave both sides non-empty.
+	train, test, err := Split(db, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N() == 0 || test.N() == 0 {
+		t.Fatalf("degenerate split %d/%d", train.N(), test.N())
+	}
+}
+
+func TestSample(t *testing.T) {
+	db, _ := GenerateCensus(500, 7)
+	rng := rand.New(rand.NewSource(3))
+	s, err := Sample(db, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 100 {
+		t.Fatalf("sample size %d", s.N())
+	}
+	if _, err := Sample(db, 0, rng); !errors.Is(err, ErrSchema) {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := Sample(db, 501, rng); !errors.Is(err, ErrSchema) {
+		t.Fatal("oversample accepted")
+	}
+}
+
+func TestStratifiedSplitPreservesShares(t *testing.T) {
+	db, err := GenerateHealth(8000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const classAttr = 6
+	rng := rand.New(rand.NewSource(4))
+	train, test, err := StratifiedSplit(db, classAttr, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N()+test.N() != db.N() {
+		t.Fatalf("records lost: %d + %d != %d", train.N(), test.N(), db.N())
+	}
+	full, _ := db.ValueCounts(classAttr)
+	tr, _ := train.ValueCounts(classAttr)
+	te, _ := test.ValueCounts(classAttr)
+	for v := range full {
+		if full[v] == 0 {
+			continue
+		}
+		fullFrac := float64(full[v]) / float64(db.N())
+		trFrac := float64(tr[v]) / float64(train.N())
+		teFrac := float64(te[v]) / float64(test.N())
+		if math.Abs(trFrac-fullFrac) > 0.01 || math.Abs(teFrac-fullFrac) > 0.02 {
+			t.Fatalf("class %d share drifted: full %.3f train %.3f test %.3f", v, fullFrac, trFrac, teFrac)
+		}
+	}
+}
+
+func TestStratifiedSplitValidation(t *testing.T) {
+	db, _ := GenerateCensus(100, 9)
+	rng := rand.New(rand.NewSource(5))
+	if _, _, err := StratifiedSplit(db, -1, 0.3, rng); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad class attribute accepted")
+	}
+	if _, _, err := StratifiedSplit(db, 0, 0, rng); !errors.Is(err, ErrSchema) {
+		t.Fatal("fraction 0 accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LevelStats aggregates one metric across trials for one itemset length.
+type LevelStats struct {
+	Length int
+	// Mean and sample standard deviation of the support error ρ (%),
+	// over the trials where the metric was defined (NaN trials — no
+	// itemset of that length identified — are excluded; Defined counts
+	// the rest).
+	RhoMean, RhoStd float64
+	RhoDefined      int
+	// σ− and σ+ means/stds (always defined).
+	FNMean, FNStd float64
+	FPMean, FPStd float64
+}
+
+// AveragedFigure is an AccuracyFigure averaged over independent
+// perturbation trials — the variance quantification the paper's single
+// plots do not show.
+type AveragedFigure struct {
+	Dataset string
+	Trials  int
+	MaxLen  int
+	Stats   map[Scheme][]LevelStats
+}
+
+// AveragedAccuracyStudy repeats the Figure 1/2 pipeline with trial-
+// specific seeds and aggregates the per-length metrics.
+func AveragedAccuracyStudy(b *Bundle, cfg Config, trials int) (*AveragedFigure, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 trials for variance", ErrExperiment)
+	}
+	fig := &AveragedFigure{
+		Dataset: b.Name,
+		Trials:  trials,
+		MaxLen:  b.MaxLen(),
+		Stats:   make(map[Scheme][]LevelStats),
+	}
+	// samples[scheme][length-1] → per-trial values.
+	type sample struct{ rho, fn, fp []float64 }
+	samples := make(map[Scheme][]sample)
+	for _, s := range AllSchemes() {
+		samples[s] = make([]sample, fig.MaxLen)
+	}
+	for trial := 0; trial < trials; trial++ {
+		trialCfg := cfg
+		trialCfg.Seed = cfg.Seed + int64(trial)*65537
+		for _, s := range AllSchemes() {
+			run, err := RunScheme(b, s, trialCfg)
+			if err != nil {
+				return nil, fmt.Errorf("trial %d scheme %s: %w", trial, s, err)
+			}
+			for l := 1; l <= fig.MaxLen; l++ {
+				smp := &samples[s][l-1]
+				if le, ok := run.Report.Level(l); ok {
+					if !math.IsNaN(le.SupportError) && !math.IsInf(le.SupportError, 0) {
+						smp.rho = append(smp.rho, le.SupportError)
+					}
+					smp.fn = append(smp.fn, le.FalseNegatives)
+					smp.fp = append(smp.fp, le.FalsePositives)
+				} else {
+					smp.fn = append(smp.fn, 100)
+					smp.fp = append(smp.fp, 0)
+				}
+			}
+		}
+	}
+	for _, s := range AllSchemes() {
+		stats := make([]LevelStats, fig.MaxLen)
+		for l := 0; l < fig.MaxLen; l++ {
+			smp := samples[s][l]
+			st := LevelStats{Length: l + 1, RhoDefined: len(smp.rho)}
+			st.RhoMean, st.RhoStd = meanStd(smp.rho)
+			st.FNMean, st.FNStd = meanStd(smp.fn)
+			st.FPMean, st.FPStd = meanStd(smp.fp)
+			stats[l] = st
+		}
+		fig.Stats[s] = stats
+	}
+	return fig, nil
+}
+
+// meanStd returns the mean and sample standard deviation; NaNs for empty
+// input, zero std for singletons.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// String renders mean±std tables for the three metrics.
+func (f *AveragedFigure) String() string {
+	var sb strings.Builder
+	panel := func(title string, pick func(LevelStats) (float64, float64)) {
+		fmt.Fprintf(&sb, "%s — %s, mean±std over %d trials\n", f.Dataset, title, f.Trials)
+		sb.WriteString("scheme   ")
+		for l := 1; l <= f.MaxLen; l++ {
+			fmt.Fprintf(&sb, "%16d", l)
+		}
+		sb.WriteByte('\n')
+		for _, s := range AllSchemes() {
+			fmt.Fprintf(&sb, "%-9s", s)
+			for _, st := range f.Stats[s] {
+				m, sd := pick(st)
+				if math.IsNaN(m) {
+					fmt.Fprintf(&sb, "%16s", "n/a")
+				} else if m >= 1e5 {
+					fmt.Fprintf(&sb, "%16.3g", m)
+				} else {
+					fmt.Fprintf(&sb, "%10.1f±%-5.1f", m, sd)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteByte('\n')
+	}
+	panel("support error rho (%)", func(st LevelStats) (float64, float64) { return st.RhoMean, st.RhoStd })
+	panel("false negatives sigma- (%)", func(st LevelStats) (float64, float64) { return st.FNMean, st.FNStd })
+	panel("false positives sigma+ (%)", func(st LevelStats) (float64, float64) { return st.FPMean, st.FPStd })
+	return sb.String()
+}

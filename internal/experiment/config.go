@@ -1,0 +1,90 @@
+// Package experiment wires the FRAPP substrates into the paper's
+// evaluation (Section 7): dataset preparation, the four perturbation
+// mechanisms (DET-GD, RAN-GD, MASK, C&P), and one harness per table and
+// figure, each returning structured results and a text rendering that
+// mirrors what the paper reports.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrExperiment is returned for invalid experiment configuration.
+var ErrExperiment = errors.New("experiment: invalid configuration")
+
+// Config carries every knob of the Section 7 evaluation. The zero value
+// is not useful; start from DefaultConfig.
+type Config struct {
+	// CensusN and HealthN are the synthetic dataset sizes. The paper uses
+	// ≈50,000 CENSUS records and >100,000 HEALTH records.
+	CensusN int
+	HealthN int
+	// Seed drives all data generation and perturbation randomness.
+	Seed int64
+	// MinSupport is supmin; the paper evaluates at 2%.
+	MinSupport float64
+	// Privacy is the strict privacy requirement; the paper reports
+	// (ρ1, ρ2) = (5%, 50%), i.e. γ = 19.
+	Privacy core.PrivacySpec
+	// AlphaFraction is RAN-GD's randomization amplitude as a fraction of
+	// γx; the paper's figures 1–2 use α = γx/2.
+	AlphaFraction float64
+	// CnPK and CnPRho are the Cut-and-Paste operator parameters; the
+	// paper uses K=3, ρ=0.494 for γ=19.
+	CnPK   int
+	CnPRho float64
+}
+
+// DefaultConfig returns the paper's evaluation settings at full scale.
+func DefaultConfig() Config {
+	return Config{
+		CensusN:       50000,
+		HealthN:       100000,
+		Seed:          2005, // ICDE 2005
+		MinSupport:    0.02,
+		Privacy:       core.PrivacySpec{Rho1: 0.05, Rho2: 0.50},
+		AlphaFraction: 0.5,
+		CnPK:          3,
+		CnPRho:        0.494,
+	}
+}
+
+// QuickConfig returns a scaled-down configuration for tests and smoke
+// runs: same parameters, smaller datasets.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CensusN = 8000
+	cfg.HealthN = 8000
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CensusN < 1 || c.HealthN < 1 {
+		return fmt.Errorf("%w: dataset sizes %d/%d", ErrExperiment, c.CensusN, c.HealthN)
+	}
+	if !(c.MinSupport > 0 && c.MinSupport <= 1) {
+		return fmt.Errorf("%w: min support %v", ErrExperiment, c.MinSupport)
+	}
+	if err := c.Privacy.Validate(); err != nil {
+		return err
+	}
+	if c.AlphaFraction < 0 || c.AlphaFraction > 1 {
+		return fmt.Errorf("%w: alpha fraction %v", ErrExperiment, c.AlphaFraction)
+	}
+	if c.CnPK < 0 {
+		return fmt.Errorf("%w: C&P K %d", ErrExperiment, c.CnPK)
+	}
+	if !(c.CnPRho > 0 && c.CnPRho < 1) {
+		return fmt.Errorf("%w: C&P rho %v", ErrExperiment, c.CnPRho)
+	}
+	return nil
+}
+
+// Gamma returns the configured privacy level's γ.
+func (c Config) Gamma() (float64, error) {
+	return c.Privacy.Gamma()
+}

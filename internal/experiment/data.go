@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+)
+
+// Bundle is a prepared evaluation dataset: the synthetic database plus
+// its ground-truth frequent itemsets at the configured support.
+type Bundle struct {
+	Name  string
+	DB    *dataset.Database
+	Truth *mining.Result
+}
+
+// LoadCensus generates the synthetic CENSUS dataset and mines its ground
+// truth.
+func LoadCensus(cfg Config) (*Bundle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db, err := dataset.GenerateCensus(cfg.CensusN, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return newBundle("CENSUS", db, cfg)
+}
+
+// LoadHealth generates the synthetic HEALTH dataset and mines its ground
+// truth.
+func LoadHealth(cfg Config) (*Bundle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db, err := dataset.GenerateHealth(cfg.HealthN, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return newBundle("HEALTH", db, cfg)
+}
+
+func newBundle(name string, db *dataset.Database, cfg Config) (*Bundle, error) {
+	truth, err := mining.Apriori(&mining.ExactCounter{DB: db}, cfg.MinSupport)
+	if err != nil {
+		return nil, fmt.Errorf("mining %s ground truth: %w", name, err)
+	}
+	return &Bundle{Name: name, DB: db, Truth: truth}, nil
+}
+
+// MaxLen returns the longest frequent-itemset length in the ground truth.
+func (b *Bundle) MaxLen() int { return len(b.Truth.ByLength) }

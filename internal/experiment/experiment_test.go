@@ -1,0 +1,283 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.CensusN = 0 },
+		func(c *Config) { c.HealthN = -1 },
+		func(c *Config) { c.MinSupport = 0 },
+		func(c *Config) { c.MinSupport = 2 },
+		func(c *Config) { c.Privacy.Rho1 = 0.9 },
+		func(c *Config) { c.AlphaFraction = -0.1 },
+		func(c *Config) { c.AlphaFraction = 1.5 },
+		func(c *Config) { c.CnPK = -1 },
+		func(c *Config) { c.CnPRho = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestConfigGamma(t *testing.T) {
+	g, err := DefaultConfig().Gamma()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-19) > 1e-12 {
+		t.Fatalf("gamma = %v, want 19", g)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	if !strings.Contains(t1, "CENSUS") || !strings.Contains(t1, "native-country") {
+		t.Fatalf("Table 1 rendering wrong:\n%s", t1)
+	}
+	t2 := Table2()
+	if !strings.Contains(t2, "HEALTH") || !strings.Contains(t2, "INCFAM20") {
+		t.Fatalf("Table 2 rendering wrong:\n%s", t2)
+	}
+}
+
+func TestBundlesAndTable3Shape(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := LoadHealth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic data must have frequent itemsets at every length up
+	// to M, like the paper's Table 3.
+	if census.MaxLen() != census.DB.Schema.M() {
+		t.Fatalf("CENSUS max frequent length %d, want %d", census.MaxLen(), census.DB.Schema.M())
+	}
+	if health.MaxLen() != health.DB.Schema.M() {
+		t.Fatalf("HEALTH max frequent length %d, want %d", health.MaxLen(), health.DB.Schema.M())
+	}
+	t3 := Table3(census, health, cfg)
+	// Bell shape: interior counts exceed both endpoints.
+	peak := 0
+	for _, c := range t3.Census {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak <= t3.Census[0] || peak <= t3.Census[len(t3.Census)-1] {
+		t.Fatalf("CENSUS spectrum not bell-shaped: %v", t3.Census)
+	}
+	out := t3.String()
+	if !strings.Contains(out, "CENSUS") || !strings.Contains(out, "HEALTH") {
+		t.Fatalf("Table 3 rendering wrong:\n%s", out)
+	}
+}
+
+func TestRunSchemeAllOnCensusQuick(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range AllSchemes() {
+		run, err := RunScheme(census, s, cfg)
+		if err != nil {
+			t.Fatalf("scheme %s: %v", s, err)
+		}
+		if run.Report == nil || run.Mined == nil {
+			t.Fatalf("scheme %s: empty run", s)
+		}
+		if run.Params == "" {
+			t.Fatalf("scheme %s: missing params", s)
+		}
+	}
+	if _, err := RunScheme(census, Scheme("bogus"), cfg); !errors.Is(err, ErrExperiment) {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestHeadlineComparisonHolds(t *testing.T) {
+	// The paper's central result: at longer itemset lengths the
+	// gamma-diagonal schemes keep finding itemsets while MASK and C&P
+	// collapse. Use a mid-size run for statistical stability.
+	cfg := DefaultConfig()
+	cfg.CensusN = 20000
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := RunScheme(census, DetGD, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnp, err := RunScheme(census, CutPaste, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := RunScheme(census, Mask, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DET-GD must mine deeper than both baselines.
+	if len(det.Mined.ByLength) <= len(cnp.Mined.ByLength)-1 {
+		t.Fatalf("DET-GD depth %d vs C&P %d", len(det.Mined.ByLength), len(cnp.Mined.ByLength))
+	}
+	// At length 4+, the baselines' false negatives must exceed DET-GD's.
+	detL4, _ := det.Report.Level(4)
+	maskL4, _ := mask.Report.Level(4)
+	cnpL4, _ := cnp.Report.Level(4)
+	if detL4.FalseNegatives >= maskL4.FalseNegatives {
+		t.Fatalf("DET-GD sigma- at L4 (%v) not better than MASK (%v)", detL4.FalseNegatives, maskL4.FalseNegatives)
+	}
+	if detL4.FalseNegatives >= cnpL4.FalseNegatives {
+		t.Fatalf("DET-GD sigma- at L4 (%v) not better than C&P (%v)", detL4.FalseNegatives, cnpL4.FalseNegatives)
+	}
+}
+
+func TestAccuracyStudyRenders(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := AccuracyStudy(census, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Runs) != 4 {
+		t.Fatalf("got %d runs", len(fig.Runs))
+	}
+	out := fig.String()
+	for _, want := range []string{"support error", "false negatives", "false positives", "DET-GD", "MASK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRandomizationStudy(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := RandomizationStudy(census, cfg, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 5 {
+		t.Fatalf("got %d points", len(fig.Points))
+	}
+	// Posterior range widens monotonically with alpha; midpoint fixed at
+	// the deterministic rho2.
+	for i, p := range fig.Points {
+		if math.Abs(p.PosteriorMid-0.5) > 1e-9 {
+			t.Fatalf("rho2(0) = %v, want 0.5", p.PosteriorMid)
+		}
+		if p.PosteriorLo > p.PosteriorMid+1e-12 || p.PosteriorHi < p.PosteriorMid-1e-12 {
+			t.Fatalf("point %d: posterior range [%v,%v] does not bracket %v", i, p.PosteriorLo, p.PosteriorHi, p.PosteriorMid)
+		}
+		if i > 0 {
+			prev := fig.Points[i-1]
+			if p.PosteriorLo > prev.PosteriorLo+1e-12 || p.PosteriorHi < prev.PosteriorHi-1e-12 {
+				t.Fatalf("posterior range not widening at point %d", i)
+			}
+		}
+		if p.SupportError < 0 {
+			t.Fatalf("negative support error at point %d", i)
+		}
+	}
+	if !strings.Contains(fig.String(), "randomization tradeoff") {
+		t.Fatal("rendering wrong")
+	}
+	if _, err := RandomizationStudy(census, cfg, 1, 4); !errors.Is(err, ErrExperiment) {
+		t.Fatal("steps=1 accepted")
+	}
+	if _, err := RandomizationStudy(census, cfg, 5, 99); !errors.Is(err, ErrExperiment) {
+		t.Fatal("absurd target length accepted")
+	}
+}
+
+func TestConditionStudyShape(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := ConditionStudy(census, cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := fig.Series[DetGD]
+	ran := fig.Series[RanGD]
+	mask := fig.Series[Mask]
+	cnp := fig.Series[CutPaste]
+	// Figure 4 claims: DET-GD/RAN-GD constant and equal; MASK and C&P
+	// grow with length and overtake by orders of magnitude.
+	for i := range det {
+		if det[i] != det[0] || ran[i] != det[i] {
+			t.Fatalf("gamma condition numbers not constant: %v %v", det, ran)
+		}
+		if i > 0 && (mask[i] <= mask[i-1] || cnp[i] <= cnp[i-1]) {
+			t.Fatalf("baseline condition numbers not increasing at %d", i)
+		}
+	}
+	if mask[5] < 100*det[5] {
+		t.Fatalf("MASK cond at L6 (%v) should dwarf DET-GD (%v)", mask[5], det[5])
+	}
+	if cnp[5] < 100*det[5] {
+		t.Fatalf("C&P cond at L6 (%v) should dwarf DET-GD (%v)", cnp[5], det[5])
+	}
+	if !strings.Contains(fig.String(), "condition numbers") {
+		t.Fatal("rendering wrong")
+	}
+	if _, err := ConditionStudy(census, cfg, 0); !errors.Is(err, ErrExperiment) {
+		t.Fatal("maxLen=0 accepted")
+	}
+	if _, err := ConditionStudy(census, cfg, 99); !errors.Is(err, ErrExperiment) {
+		t.Fatal("maxLen=99 accepted")
+	}
+}
+
+func TestLoadRejectsInvalidConfig(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.CensusN = 0
+	if _, err := LoadCensus(cfg); err == nil {
+		t.Fatal("invalid config accepted by LoadCensus")
+	}
+	cfg = QuickConfig()
+	cfg.HealthN = -5
+	if _, err := LoadHealth(cfg); err == nil {
+		t.Fatal("invalid config accepted by LoadHealth")
+	}
+}
+
+func TestRunSchemeRejectsInvalidConfig(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.MinSupport = 0
+	if _, err := RunScheme(census, DetGD, bad); err == nil {
+		t.Fatal("invalid config accepted by RunScheme")
+	}
+}

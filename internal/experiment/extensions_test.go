@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestClassifyStudy(t *testing.T) {
+	cfg := QuickConfig()
+	health, err := LoadHealth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClassifyStudy(health, cfg, 6) // HEALTH status
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClassAttr != "HEALTH" {
+		t.Fatalf("class attr %q", res.ClassAttr)
+	}
+	for _, acc := range []float64{res.Majority, res.Exact, res.Private} {
+		if acc <= 0 || acc > 1 {
+			t.Fatalf("accuracy out of range: %+v", res)
+		}
+	}
+	// Private training cannot beat exact training by more than noise,
+	// and must not collapse to zero.
+	if res.Private > res.Exact+0.05 {
+		t.Fatalf("private %v implausibly above exact %v", res.Private, res.Exact)
+	}
+	if !strings.Contains(res.String(), "privacy cost") {
+		t.Fatal("rendering wrong")
+	}
+	if _, err := ClassifyStudy(health, cfg, 99); err == nil {
+		t.Fatal("bad class attribute accepted")
+	}
+}
+
+func TestRelaxationStudy(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := RelaxationStudy(census, cfg, []float64{1.0, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Relaxed candidate retention can only help recall (same counter,
+	// superset of candidates survives).
+	if pts[1].FalseNegatives > pts[0].FalseNegatives+1e-9 {
+		t.Fatalf("relaxation increased sigma-: %v -> %v", pts[0].FalseNegatives, pts[1].FalseNegatives)
+	}
+	if !strings.Contains(FormatRelaxation("CENSUS", pts), "relaxation") {
+		t.Fatal("rendering wrong")
+	}
+	if _, err := RelaxationStudy(census, cfg, nil); !errors.Is(err, ErrExperiment) {
+		t.Fatal("empty settings accepted")
+	}
+}
+
+func TestAveragedAccuracyStudy(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := AveragedAccuracyStudy(census, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Trials != 3 || fig.MaxLen != census.MaxLen() {
+		t.Fatalf("figure metadata %+v", fig)
+	}
+	for _, s := range AllSchemes() {
+		stats, ok := fig.Stats[s]
+		if !ok || len(stats) != fig.MaxLen {
+			t.Fatalf("scheme %s stats missing", s)
+		}
+		for _, st := range stats {
+			if st.FNMean < 0 || st.FNMean > 100 {
+				t.Fatalf("scheme %s length %d: sigma- mean %v", s, st.Length, st.FNMean)
+			}
+			if st.FNStd < 0 {
+				t.Fatalf("negative std")
+			}
+		}
+	}
+	out := fig.String()
+	if !strings.Contains(out, "mean±std over 3 trials") {
+		t.Fatalf("rendering wrong:\n%s", out)
+	}
+	if _, err := AveragedAccuracyStudy(census, cfg, 1); !errors.Is(err, ErrExperiment) {
+		t.Fatal("1 trial accepted")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if s < 2.13 || s > 2.15 { // sample std of the classic example
+		t.Fatalf("std %v", s)
+	}
+	m, s = meanStd(nil)
+	if !math.IsNaN(m) || !math.IsNaN(s) {
+		t.Fatal("empty input should be NaN")
+	}
+	m, s = meanStd([]float64{3})
+	if m != 3 || s != 0 {
+		t.Fatalf("singleton: %v ± %v", m, s)
+	}
+}
+
+func TestGammaSweepStudy(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []core.PrivacySpec{
+		{Rho1: 0.05, Rho2: 0.30}, // strict: gamma ≈ 8.1
+		{Rho1: 0.05, Rho2: 0.50}, // paper: gamma = 19
+		{Rho1: 0.05, Rho2: 0.90}, // loose: gamma = 171
+	}
+	pts, err := GammaSweepStudy(census, cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Condition number strictly decreases as privacy relaxes; false
+	// negatives should not get worse.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cond >= pts[i-1].Cond {
+			t.Fatalf("cond not decreasing: %v -> %v", pts[i-1].Cond, pts[i].Cond)
+		}
+		if pts[i].FalseNegatives > pts[i-1].FalseNegatives+10 {
+			t.Fatalf("sigma- worsened sharply as privacy relaxed: %v -> %v",
+				pts[i-1].FalseNegatives, pts[i].FalseNegatives)
+		}
+	}
+	if !strings.Contains(FormatGammaSweep("CENSUS", pts), "privacy level") {
+		t.Fatal("rendering wrong")
+	}
+	if _, err := GammaSweepStudy(census, cfg, nil); !errors.Is(err, ErrExperiment) {
+		t.Fatal("empty specs accepted")
+	}
+}

@@ -1,0 +1,286 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mining"
+)
+
+// AccuracyFigure holds one of the paper's Figure 1/2 panels: per-length
+// support error ρ, false negatives σ− and false positives σ+ for every
+// scheme on one dataset.
+type AccuracyFigure struct {
+	Dataset string
+	Runs    []*SchemeRun
+	MaxLen  int
+}
+
+// AccuracyStudy runs all four schemes on a bundle (Figures 1 and 2).
+func AccuracyStudy(b *Bundle, cfg Config) (*AccuracyFigure, error) {
+	fig := &AccuracyFigure{Dataset: b.Name, MaxLen: b.MaxLen()}
+	for _, s := range AllSchemes() {
+		run, err := RunScheme(b, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", s, err)
+		}
+		fig.Runs = append(fig.Runs, run)
+	}
+	return fig, nil
+}
+
+// String renders the three panels (ρ, σ−, σ+) as text tables with one
+// column per itemset length and one row per scheme.
+func (f *AccuracyFigure) String() string {
+	var sb strings.Builder
+	panel := func(title string, pick func(metricsLevel int, run *SchemeRun) float64) {
+		fmt.Fprintf(&sb, "%s — %s by frequent itemset length\n", f.Dataset, title)
+		sb.WriteString("scheme   ")
+		for l := 1; l <= f.MaxLen; l++ {
+			fmt.Fprintf(&sb, "%10d", l)
+		}
+		sb.WriteByte('\n')
+		for _, run := range f.Runs {
+			fmt.Fprintf(&sb, "%-9s", run.Scheme)
+			for l := 1; l <= f.MaxLen; l++ {
+				v := pick(l, run)
+				switch {
+				case math.IsNaN(v):
+					fmt.Fprintf(&sb, "%10s", "n/a")
+				case math.IsInf(v, 1):
+					fmt.Fprintf(&sb, "%10s", "inf")
+				case v >= 1e5:
+					fmt.Fprintf(&sb, "%10.3g", v)
+				default:
+					fmt.Fprintf(&sb, "%10.2f", v)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteByte('\n')
+	}
+	panel("support error rho (%)", func(l int, run *SchemeRun) float64 {
+		if le, ok := run.Report.Level(l); ok {
+			return le.SupportError
+		}
+		return math.NaN()
+	})
+	panel("false negatives sigma- (%)", func(l int, run *SchemeRun) float64 {
+		if le, ok := run.Report.Level(l); ok {
+			return le.FalseNegatives
+		}
+		return math.NaN()
+	})
+	panel("false positives sigma+ (%)", func(l int, run *SchemeRun) float64 {
+		if le, ok := run.Report.Level(l); ok {
+			return le.FalsePositives
+		}
+		return math.NaN()
+	})
+	return sb.String()
+}
+
+// RandomizationPoint is one α setting of Figure 3: the posterior range
+// the miner can determine and the support error at itemset length 4.
+type RandomizationPoint struct {
+	AlphaFraction float64 // α/(γx)
+	PosteriorLo   float64 // ρ2(−α)
+	PosteriorMid  float64 // ρ2(0)
+	PosteriorHi   float64 // ρ2(+α)
+	SupportError  float64 // ρ (%) at itemset length 4, RAN-GD
+}
+
+// RandomizationFigure is the paper's Figure 3 for one dataset.
+type RandomizationFigure struct {
+	Dataset string
+	// DetGDError is the DET-GD (α=0) support error at length 4, the
+	// flat comparison line in Figures 3(b,c).
+	DetGDError float64
+	Points     []RandomizationPoint
+}
+
+// RandomizationStudy sweeps α/(γx) over [0,1] and, at each point,
+// perturbs with RAN-GD and measures the reconstruction error of the TRUE
+// frequent itemsets of length targetLen (the paper uses 4), plus the
+// posterior-probability range of Section 4.1.
+func RandomizationStudy(b *Bundle, cfg Config, steps, targetLen int) (*RandomizationFigure, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 sweep steps", ErrExperiment)
+	}
+	gamma, err := cfg.Gamma()
+	if err != nil {
+		return nil, err
+	}
+	if targetLen < 1 || targetLen > b.MaxLen() {
+		return nil, fmt.Errorf("%w: target length %d outside ground truth (max %d)", ErrExperiment, targetLen, b.MaxLen())
+	}
+	trueLevel := b.Truth.ByLength[targetLen-1]
+	targets := make([]mining.Itemset, len(trueLevel))
+	trueSup := make([]float64, len(trueLevel))
+	for i, f := range trueLevel {
+		targets[i] = f.Items
+		trueSup[i] = f.Support * float64(b.DB.N())
+	}
+
+	n := b.DB.Schema.DomainSize()
+	m, err := core.NewGammaDiagonal(n, gamma)
+	if err != nil {
+		return nil, err
+	}
+	fig := &RandomizationFigure{Dataset: b.Name}
+	for step := 0; step < steps; step++ {
+		frac := float64(step) / float64(steps-1)
+		alpha := frac * m.Diag // α as a fraction of γx
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(step)*7919))
+
+		var counter *mining.GammaCounter
+		if alpha == 0 {
+			p, err := core.NewGammaPerturber(b.DB.Schema, m)
+			if err != nil {
+				return nil, err
+			}
+			pdb, err := core.PerturbDatabase(b.DB, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			counter, err = mining.NewGammaCounter(pdb, m)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			p, err := core.NewRandomizedGammaPerturber(b.DB.Schema, m, alpha)
+			if err != nil {
+				return nil, err
+			}
+			pdb, err := core.PerturbDatabase(b.DB, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			counter, err = mining.NewGammaCounter(pdb, p.ExpectedMatrix())
+			if err != nil {
+				return nil, err
+			}
+		}
+		est, err := counter.Supports(targets)
+		if err != nil {
+			return nil, err
+		}
+		var rho float64
+		for i := range est {
+			rho += math.Abs(est[i]-trueSup[i]) / trueSup[i]
+		}
+		rho = rho / float64(len(est)) * 100
+
+		lo, hi, err := core.PosteriorRange(gamma, n, cfg.Privacy.Rho1, alpha)
+		if err != nil {
+			return nil, err
+		}
+		mid, err := core.RandomizedPosterior(gamma, n, cfg.Privacy.Rho1, 0)
+		if err != nil {
+			return nil, err
+		}
+		pt := RandomizationPoint{
+			AlphaFraction: frac,
+			PosteriorLo:   lo,
+			PosteriorMid:  mid,
+			PosteriorHi:   hi,
+			SupportError:  rho,
+		}
+		if step == 0 {
+			fig.DetGDError = rho
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig, nil
+}
+
+// String renders the Figure 3 series.
+func (f *RandomizationFigure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — randomization tradeoff (itemset length 4)\n", f.Dataset)
+	sb.WriteString("alpha/(gamma·x)   rho2-    rho2(0)   rho2+    support err %  (DET-GD baseline: ")
+	fmt.Fprintf(&sb, "%.2f%%)\n", f.DetGDError)
+	for _, p := range f.Points {
+		fmt.Fprintf(&sb, "%15.2f %8.3f %9.3f %8.3f %14.2f\n",
+			p.AlphaFraction, p.PosteriorLo, p.PosteriorMid, p.PosteriorHi, p.SupportError)
+	}
+	return sb.String()
+}
+
+// ConditionFigure is the paper's Figure 4 for one dataset: condition
+// number of the reconstruction matrix per itemset length per scheme.
+type ConditionFigure struct {
+	Dataset string
+	Lengths []int
+	// Series maps scheme → condition number per length.
+	Series map[Scheme][]float64
+}
+
+// ConditionStudy computes the reconstruction-matrix condition numbers.
+// DET-GD and RAN-GD share the constant (γ+|S_U|−1)/(γ−1); MASK grows as
+// (2p−1)^(−l); C&P's comes from its (l+1)×(l+1) partial-support matrix.
+func ConditionStudy(b *Bundle, cfg Config, maxLen int) (*ConditionFigure, error) {
+	gamma, err := cfg.Gamma()
+	if err != nil {
+		return nil, err
+	}
+	if maxLen < 1 || maxLen > b.DB.Schema.M() {
+		return nil, fmt.Errorf("%w: max length %d outside schema (M=%d)", ErrExperiment, maxLen, b.DB.Schema.M())
+	}
+	gd, err := core.NewGammaDiagonal(b.DB.Schema.DomainSize(), gamma)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := core.NewBoolMapping(b.DB.Schema)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := core.NewMaskSchemeForPrivacy(bm, gamma)
+	if err != nil {
+		return nil, err
+	}
+	cnp, err := core.NewCutPasteScheme(bm, cfg.CnPK, cfg.CnPRho)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &ConditionFigure{
+		Dataset: b.Name,
+		Series:  make(map[Scheme][]float64),
+	}
+	for l := 1; l <= maxLen; l++ {
+		fig.Lengths = append(fig.Lengths, l)
+		fig.Series[DetGD] = append(fig.Series[DetGD], gd.Cond())
+		fig.Series[RanGD] = append(fig.Series[RanGD], gd.Cond()) // expected matrix is identical
+		fig.Series[Mask] = append(fig.Series[Mask], mask.Cond(l))
+		cc, err := cnp.Cond(l)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series[CutPaste] = append(fig.Series[CutPaste], cc)
+	}
+	return fig, nil
+}
+
+// String renders the condition-number table (log10 values in
+// parentheses, matching the paper's log-scale plot).
+func (f *ConditionFigure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — reconstruction matrix condition numbers\n", f.Dataset)
+	sb.WriteString("scheme   ")
+	for _, l := range f.Lengths {
+		fmt.Fprintf(&sb, "%12d", l)
+	}
+	sb.WriteByte('\n')
+	for _, s := range AllSchemes() {
+		fmt.Fprintf(&sb, "%-9s", s)
+		for i := range f.Lengths {
+			fmt.Fprintf(&sb, "%12.4g", f.Series[s][i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReconstructionStudyBoundHolds(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReconstructionStudy(census, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		// Theorem 1 must hold on every trial.
+		if p.ActualErr > p.BoundErr+1e-9 {
+			t.Fatalf("trial %d: actual %v exceeds bound %v", p.Trial, p.ActualErr, p.BoundErr)
+		}
+		// The Poisson-Binomial prediction of ‖Y−E(Y)‖ should be the right
+		// scale: the observed deviation within a factor of 2 of √ΣVar.
+		if p.ObservedY < p.PredictedY/2 || p.ObservedY > p.PredictedY*2 {
+			t.Fatalf("trial %d: observed ||Y-EY|| %v vs predicted %v", p.Trial, p.ObservedY, p.PredictedY)
+		}
+		if p.Cond <= 1 {
+			t.Fatalf("condition number %v", p.Cond)
+		}
+	}
+	out := FormatReconstruction("CENSUS", pts)
+	if !strings.Contains(out, "Theorem 1") {
+		t.Fatal("rendering wrong")
+	}
+}
+
+func TestReconstructionStudyValidation(t *testing.T) {
+	cfg := QuickConfig()
+	census, err := LoadCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconstructionStudy(census, cfg, 0); !errors.Is(err, ErrExperiment) {
+		t.Fatal("0 trials accepted")
+	}
+}
+
+func TestHealthBundleQuick(t *testing.T) {
+	cfg := QuickConfig()
+	health, err := LoadHealth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.DB.N() != cfg.HealthN {
+		t.Fatalf("N = %d", health.DB.N())
+	}
+	run, err := RunScheme(health, DetGD, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Report.Overall.TrueCount == 0 {
+		t.Fatal("empty truth")
+	}
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// SchemaTable renders a dataset schema in the style of the paper's
+// Tables 1 and 2: one row per attribute with its categories.
+func SchemaTable(s *dataset.Schema) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s dataset (M=%d, |S_U|=%d)\n", s.Name, s.M(), s.DomainSize())
+	fmt.Fprintf(&sb, "%-16s %s\n", "Attribute", "Categories")
+	for _, a := range s.Attrs {
+		fmt.Fprintf(&sb, "%-16s %s\n", a.Name, strings.Join(a.Categories, "; "))
+	}
+	return sb.String()
+}
+
+// Table1 renders the CENSUS schema (paper Table 1).
+func Table1() string { return SchemaTable(dataset.CensusSchema()) }
+
+// Table2 renders the HEALTH schema (paper Table 2).
+func Table2() string { return SchemaTable(dataset.HealthSchema()) }
+
+// Table3Result holds the frequent-itemset length spectrum of both
+// datasets at supmin (paper Table 3).
+type Table3Result struct {
+	MinSupport float64
+	Census     []int
+	Health     []int
+}
+
+// Table3 mines both datasets exactly and reports the number of frequent
+// itemsets at each length.
+func Table3(census, health *Bundle, cfg Config) *Table3Result {
+	return &Table3Result{
+		MinSupport: cfg.MinSupport,
+		Census:     census.Truth.Counts(),
+		Health:     health.Truth.Counts(),
+	}
+}
+
+// String renders Table 3 in the paper's row format.
+func (t *Table3Result) String() string {
+	maxLen := len(t.Census)
+	if len(t.Health) > maxLen {
+		maxLen = len(t.Health)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Frequent itemsets for supmin = %.2g\n", t.MinSupport)
+	sb.WriteString("            Itemset Length\n")
+	sb.WriteString("Dataset  ")
+	for l := 1; l <= maxLen; l++ {
+		fmt.Fprintf(&sb, "%6d", l)
+	}
+	sb.WriteByte('\n')
+	writeRow := func(name string, counts []int) {
+		fmt.Fprintf(&sb, "%-9s", name)
+		for l := 0; l < maxLen; l++ {
+			if l < len(counts) {
+				fmt.Fprintf(&sb, "%6d", counts[l])
+			} else {
+				fmt.Fprintf(&sb, "%6s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow("CENSUS", t.Census)
+	writeRow("HEALTH", t.Health)
+	return sb.String()
+}

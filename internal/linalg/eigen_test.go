@@ -1,0 +1,225 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a, _ := NewDenseFrom(3, 3, []float64{
+		3, 0, 0,
+		0, 1, 0,
+		0, 0, 2,
+	})
+	vals, _, err := SymEigen(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEqual(vals[i], want[i], 1e-12) {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a, _ := NewDenseFrom(2, 2, []float64{2, 1, 1, 2})
+	vals, vecs, err := SymEigen(a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vals[0], 1, 1e-12) || !almostEqual(vals[1], 3, 1e-12) {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+	// Verify A·v = λ·v for each pair.
+	for k := 0; k < 2; k++ {
+		v := vecs.Col(k)
+		av, _ := a.MulVec(v)
+		for i := range v {
+			if !almostEqual(av[i], vals[k]*v[i], 1e-10) {
+				t.Fatalf("eigenpair %d violated: Av=%v, λv=%v", k, av[i], vals[k]*v[i])
+			}
+		}
+	}
+}
+
+func TestSymEigenGammaDiagonalClosedForm(t *testing.T) {
+	// The FRAPP gamma-diagonal matrix x·(γ I + (J−I)) has eigenvalues
+	// x(γ−1) with multiplicity n−1 and 1 (Markov dominant eigenvalue).
+	gamma := 19.0
+	for _, n := range []int{2, 5, 10, 25} {
+		x := 1 / (gamma + float64(n) - 1)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					a.Set(i, j, gamma*x)
+				} else {
+					a.Set(i, j, x)
+				}
+			}
+		}
+		vals, _, err := SymEigen(a, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small := x * (gamma - 1)
+		for i := 0; i < n-1; i++ {
+			if !almostEqual(vals[i], small, 1e-10) {
+				t.Fatalf("n=%d: vals[%d]=%g, want %g", n, i, vals[i], small)
+			}
+		}
+		if !almostEqual(vals[n-1], 1, 1e-10) {
+			t.Fatalf("n=%d: dominant eigenvalue %g, want 1", n, vals[n-1])
+		}
+	}
+}
+
+func TestSymEigenTraceAndOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(10)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEigen(a, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Theorem 3 of the paper: Σλ = trace.
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		if !almostEqual(trace, sum, 1e-9) {
+			t.Fatalf("trial %d: Σλ=%g != trace=%g", trial, sum, trace)
+		}
+		// VᵀV = I.
+		vtv, _ := vecs.T().Mul(vecs)
+		d, _ := vtv.MaxAbsDiff(Identity(n))
+		if d > 1e-9 {
+			t.Fatalf("trial %d: eigenvectors not orthonormal, dev %g", trial, d)
+		}
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	if _, _, err := SymEigen(a, false); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+	if _, _, err := SymEigen(NewDense(2, 3), false); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestPowerIterationAgreesWithJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(8)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.Float64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		// Make dominant eigenvalue clearly separated and positive.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(2*n))
+		}
+		vals, _, err := SymEigen(a, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmax, _, err := PowerIteration(a, 5000, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(lmax, vals[n-1], 1e-6) {
+			t.Fatalf("trial %d: power=%g, jacobi=%g", trial, lmax, vals[n-1])
+		}
+	}
+}
+
+func TestPowerIterationErrors(t *testing.T) {
+	if _, _, err := PowerIteration(NewDense(2, 3), 10, 1e-6); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, _, err := PowerIteration(NewDense(0, 0), 10, 1e-6); err == nil {
+		t.Fatal("expected empty-matrix error")
+	}
+}
+
+func TestCondSymmetricIdentity(t *testing.T) {
+	c, err := Cond2Symmetric(Identity(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("cond(I) = %v, want 1", c)
+	}
+}
+
+func TestCondSingular(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{1, 1, 1, 1})
+	c, err := Cond2Symmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c, 1) {
+		t.Fatalf("cond of singular = %v, want +Inf", c)
+	}
+	c1, err := Cond1(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c1, 1) {
+		t.Fatalf("Cond1 of singular = %v, want +Inf", c1)
+	}
+}
+
+func TestCond1Identity(t *testing.T) {
+	c, err := Cond1(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("Cond1(I) = %v, want 1", c)
+	}
+	if _, err := Cond1(NewDense(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{1, -2, 3, -4})
+	if got := Norm1(a); got != 6 {
+		t.Fatalf("Norm1 = %v, want 6", got)
+	}
+	if got := NormInf(a); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+	if got := FrobeniusNorm(a); !almostEqual(got, math.Sqrt(30), 1e-12) {
+		t.Fatalf("Frobenius = %v, want sqrt(30)", got)
+	}
+	if got := VecNorm1([]float64{1, -2, 3}); got != 6 {
+		t.Fatalf("VecNorm1 = %v", got)
+	}
+	if got := VecNormInf([]float64{1, -5, 3}); got != 5 {
+		t.Fatalf("VecNormInf = %v", got)
+	}
+	if got := VecNorm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("VecNorm2 = %v", got)
+	}
+}

@@ -1,0 +1,153 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U, with L unit lower triangular and U upper triangular, stored
+// compactly in lu. It supports repeated solves against different
+// right-hand sides, matrix inversion, and determinant computation.
+type LU struct {
+	lu    *Dense
+	pivot []int // pivot[i] is the row swapped into position i
+	sign  int   // +1 or −1: parity of the permutation, for Det
+}
+
+// Factor computes the LU factorization of a. The input matrix is not
+// modified. It returns ErrSingular if a pivot underflows to zero.
+func Factor(a *Dense) (*LU, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("%w: LU of %dx%d matrix", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest magnitude entry in column k.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		pivot[k] = p
+		if p != k {
+			rowK := lu.data[k*n : (k+1)*n]
+			rowP := lu.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			sign = -sign
+		}
+		pv := lu.At(k, k)
+		if pv == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pv
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			rowI := lu.data[i*n : (i+1)*n]
+			rowK := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Order returns the order n of the factored matrix.
+func (f *LU) Order() int { return f.lu.rows }
+
+// Solve solves A·x = b for x, reusing the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d for order-%d system", ErrShape, len(b), n)
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply the row permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower triangular L.
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : (i+1)*n]
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x, nil
+}
+
+// Inverse computes A⁻¹ column by column from the factorization.
+func (f *LU) Inverse() (*Dense, error) {
+	n := f.lu.rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve is a convenience wrapper: factor a and solve a·x = b.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse is a convenience wrapper: factor a and invert it.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse()
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := NewDenseFrom(3, 3, []float64{
+		2, 1, -1,
+		-3, -1, 2,
+		-2, 1, 2,
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-12) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveResidualRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		a := NewDense(n, n)
+		for i := range a.RawData() {
+			a.RawData()[i] = rng.NormFloat64()
+		}
+		// Diagonal boost keeps matrices comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ax, _ := a.MulVec(x)
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-9) {
+				t.Fatalf("trial %d: residual at %d: %v vs %v", trial, i, ax[i], b[i])
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	a, _ := NewDenseFrom(3, 3, []float64{
+		4, 7, 2,
+		3, 6, 1,
+		2, 5, 3,
+	})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	d, _ := prod.MaxAbsDiff(Identity(3))
+	if d > 1e-12 {
+		t.Fatalf("A·A⁻¹ deviates from identity by %g", d)
+	}
+}
+
+func TestSingularDetection(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{1, 2, 2, 4})
+	_, err := Factor(a)
+	if err == nil {
+		t.Fatal("expected singular error")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("error %v does not wrap ErrSingular", err)
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("expected ErrShape, got %v", err)
+	}
+}
+
+func TestSolveRHSLength(t *testing.T) {
+	f, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("expected ErrShape, got %v", err)
+	}
+	if f.Order() != 3 {
+		t.Fatalf("Order() = %d, want 3", f.Order())
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{3, 8, 4, 6})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); !almostEqual(got, -14, 1e-12) {
+		t.Fatalf("Det = %v, want -14", got)
+	}
+	fi, _ := Factor(Identity(5))
+	if got := fi.Det(); got != 1 {
+		t.Fatalf("Det(I) = %v, want 1", got)
+	}
+}
+
+func TestDetProductProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		mk := func() *Dense {
+			m := NewDense(n, n)
+			for i := range m.RawData() {
+				m.RawData()[i] = rng.NormFloat64()
+			}
+			for i := 0; i < n; i++ {
+				m.Add(i, i, 3)
+			}
+			return m
+		}
+		a, b := mk(), mk()
+		ab, _ := a.Mul(b)
+		fa, _ := Factor(a)
+		fb, _ := Factor(b)
+		fab, err := Factor(ab)
+		if err != nil {
+			continue
+		}
+		if !almostEqual(fab.Det(), fa.Det()*fb.Det(), 1e-8) {
+			t.Fatalf("trial %d: det(AB)=%g != det(A)det(B)=%g",
+				trial, fab.Det(), fa.Det()*fb.Det())
+		}
+	}
+}
+
+func TestSolveHilbertIllConditioned(t *testing.T) {
+	// 5x5 Hilbert matrix: the paper's own example of ill-conditioning
+	// (condition number ~1e5, Section 2.3). The solve should still work
+	// to reasonable accuracy at this size.
+	n := 5
+	h := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	xTrue := []float64{1, 1, 1, 1, 1}
+	b, _ := h.MulVec(xTrue)
+	x, err := Solve(h, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-8 {
+			t.Fatalf("Hilbert solve x[%d] = %v, want 1", i, x[i])
+		}
+	}
+	c, err := Cond2Symmetric(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 1e4 || c > 1e6 {
+		t.Fatalf("Hilbert(5) condition number = %g, want ~5e5", c)
+	}
+}

@@ -1,0 +1,286 @@
+// Package linalg provides the dense linear-algebra substrate used by the
+// FRAPP framework: matrices, LU factorization, linear solves, eigenvalue
+// computation for symmetric matrices, norms, and condition numbers.
+//
+// The package is intentionally self-contained (standard library only) and
+// tuned for the moderate matrix orders that arise in perturbation-matrix
+// analysis (up to a few thousand), not for BLAS-level throughput.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned when matrix dimensions are incompatible with the
+// requested operation.
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Dense is a row-major dense matrix of float64 values.
+//
+// The zero value is an empty (0×0) matrix; use NewDense to allocate a
+// matrix of a given shape.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r×c matrix of zeros. It panics if r or c is
+// negative, mirroring make's behaviour for negative lengths.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseFrom builds an r×c matrix from the given row-major data slice.
+// The slice is used directly (not copied); len(data) must equal r*c.
+func NewDenseFrom(r, c int, data []float64) (*Dense, error) {
+	if len(data) != r*c {
+		return nil, fmt.Errorf("%w: %d elements for %dx%d matrix", ErrShape, len(data), r, c)
+	}
+	return &Dense{rows: r, cols: c, data: data}, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Dims reports the number of rows and columns.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *Dense) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range", i))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: column %d out of range", j))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// RawData exposes the backing row-major slice. Mutating it mutates the
+// matrix; callers that need isolation should use Clone.
+func (m *Dense) RawData() []float64 { return m.data }
+
+// Clone returns a deep copy of the matrix.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by s, in place, and returns m.
+func (m *Dense) Scale(s float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// Plus returns m + b as a new matrix.
+func (m *Dense) Plus(b *Dense) (*Dense, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: %dx%d + %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// Minus returns m − b as a new matrix.
+func (m *Dense) Minus(b *Dense) (*Dense, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: %dx%d - %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= b.data[i]
+	}
+	return out, nil
+}
+
+// Mul returns the matrix product m·b as a new matrix.
+func (m *Dense) Mul(b *Dense) (*Dense, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: %dx%d * %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		arow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("%w: %dx%d * vec(%d)", ErrShape, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// IsSquare reports whether the matrix is square.
+func (m *Dense) IsSquare() bool { return m.rows == m.cols }
+
+// IsSymmetric reports whether the matrix is symmetric to within tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if !m.IsSquare() {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsStochasticColumns reports whether every column sums to 1 within tol and
+// all entries are nonnegative, i.e. whether the matrix is a valid Markov
+// perturbation matrix in the FRAPP sense (Equation 1 of the paper).
+func (m *Dense) IsStochasticColumns(tol float64) bool {
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			v := m.At(i, j)
+			if v < -tol {
+				return false
+			}
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between m
+// and b, or an error if shapes differ.
+func (m *Dense) MaxAbsDiff(b *Dense) (float64, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	var d float64
+	for i := range m.data {
+		if v := math.Abs(m.data[i] - b.data[i]); v > d {
+			d = v
+		}
+	}
+	return d, nil
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Dense) String() string {
+	const maxShown = 8
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Dense(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows && i < maxShown; i++ {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		for j := 0; j < m.cols && j < maxShown; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.4g", m.At(i, j))
+		}
+		if m.cols > maxShown {
+			sb.WriteString(" …")
+		}
+	}
+	if m.rows > maxShown {
+		sb.WriteString("; …")
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

@@ -1,0 +1,238 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims() = (%d,%d), want (3,4)", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("fresh matrix not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewDenseFromShapeError(t *testing.T) {
+	if _, err := NewDenseFrom(2, 2, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected shape error for 3 elements in 2x2")
+	}
+	m, err := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("row-major layout broken: At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if got := m.At(0, 1); got != 7 {
+		t.Fatalf("At(0,1) = %v, want 7", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(4) wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	if r, c := mt.Dims(); r != 3 || c != 2 {
+		t.Fatalf("transpose dims = (%d,%d), want (3,2)", r, c)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", mt)
+	}
+}
+
+func TestDoubleTransposeIsIdentityProperty(t *testing.T) {
+	f := func(vals [12]float64) bool {
+		m, _ := NewDenseFrom(3, 4, append([]float64(nil), vals[:]...))
+		d, _ := m.T().T().MaxAbsDiff(m)
+		return d == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if got := c.RawData()[i]; got != w {
+			t.Fatalf("Mul[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewDense(2, 3)
+	if _, err := a.Mul(NewDense(2, 2)); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := a.MulVec([]float64{1, 2}); err == nil {
+		t.Fatal("expected shape error for MulVec")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{2, 0, 1, 3})
+	y, err := a.MulVec([]float64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 8 || y[1] != 19 {
+		t.Fatalf("MulVec = %v, want [8 19]", y)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randMat := func(r, c int) *Dense {
+		m := NewDense(r, c)
+		for i := range m.RawData() {
+			m.RawData()[i] = rng.NormFloat64()
+		}
+		return m
+	}
+	for trial := 0; trial < 25; trial++ {
+		a, b, c := randMat(4, 3), randMat(3, 5), randMat(5, 2)
+		ab, _ := a.Mul(b)
+		left, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		right, _ := a.Mul(bc)
+		d, _ := left.MaxAbsDiff(right)
+		if d > 1e-10 {
+			t.Fatalf("trial %d: (AB)C != A(BC), max diff %g", trial, d)
+		}
+	}
+}
+
+func TestPlusMinus(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b, _ := NewDenseFrom(2, 2, []float64{5, 6, 7, 8})
+	sum, err := a.Plus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := sum.Minus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := diff.MaxAbsDiff(a)
+	if d != 0 {
+		t.Fatalf("(a+b)-b != a, diff %g", d)
+	}
+	if _, err := a.Plus(NewDense(3, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestScaleClone(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	b.Scale(2)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original data")
+	}
+	if b.At(1, 1) != 8 {
+		t.Fatalf("Scale result wrong: %v", b.At(1, 1))
+	}
+}
+
+func TestRowCol(t *testing.T) {
+	a, _ := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := a.Row(1)
+	if r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := a.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col(2) = %v", c)
+	}
+	r[0] = 99
+	if a.At(1, 0) == 99 {
+		t.Fatal("Row must return a copy")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s, _ := NewDenseFrom(2, 2, []float64{1, 2, 2, 5})
+	if !s.IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	a, _ := NewDenseFrom(2, 2, []float64{1, 2, 3, 5})
+	if a.IsSymmetric(1e-12) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	if NewDense(2, 3).IsSymmetric(0) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func TestIsStochasticColumns(t *testing.T) {
+	a, _ := NewDenseFrom(2, 2, []float64{0.9, 0.3, 0.1, 0.7})
+	if !a.IsStochasticColumns(1e-12) {
+		t.Fatal("column-stochastic matrix rejected")
+	}
+	b, _ := NewDenseFrom(2, 2, []float64{0.9, 0.3, 0.2, 0.7})
+	if b.IsStochasticColumns(1e-12) {
+		t.Fatal("non-stochastic matrix accepted")
+	}
+	c, _ := NewDenseFrom(2, 2, []float64{1.5, 0.3, -0.5, 0.7})
+	if c.IsStochasticColumns(1e-12) {
+		t.Fatal("negative-entry matrix accepted")
+	}
+}
+
+func TestStringElides(t *testing.T) {
+	big := NewDense(20, 20)
+	s := big.String()
+	if len(s) == 0 || len(s) > 2000 {
+		t.Fatalf("String() of big matrix has unreasonable length %d", len(s))
+	}
+}

@@ -1,0 +1,144 @@
+// Package metrics implements the two accuracy measures of Section 7 of
+// the FRAPP paper: the support error ρ and the identity errors σ+ (false
+// positives) and σ− (false negatives), both overall and per itemset
+// length.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mining"
+)
+
+// ErrMetrics is returned for malformed metric inputs.
+var ErrMetrics = errors.New("metrics: invalid input")
+
+// LevelErrors holds the paper's error metrics for one itemset length.
+type LevelErrors struct {
+	Length int
+	// SupportError is ρ: the mean percentage relative error of the
+	// reconstructed supports over the CORRECTLY identified frequent
+	// itemsets. NaN when no itemset of this length was identified.
+	SupportError float64
+	// FalsePositives is σ+: |R−F|/|F| · 100.
+	FalsePositives float64
+	// FalseNegatives is σ−: |F−R|/|F| · 100.
+	FalseNegatives float64
+	// TrueCount and MinedCount are |F| and |R| for this length.
+	TrueCount  int
+	MinedCount int
+}
+
+// Report is the full error report of one mining run against ground truth.
+type Report struct {
+	Levels []LevelErrors
+	// Overall metrics across all lengths.
+	Overall LevelErrors
+}
+
+// Evaluate compares a reconstructed mining result against the ground
+// truth result on the same data and minimum support.
+func Evaluate(truth, mined *mining.Result) (*Report, error) {
+	if truth == nil || mined == nil {
+		return nil, fmt.Errorf("%w: nil result", ErrMetrics)
+	}
+	maxLen := len(truth.ByLength)
+	if len(mined.ByLength) > maxLen {
+		maxLen = len(mined.ByLength)
+	}
+	trueByLen := indexByLength(truth, maxLen)
+	minedByLen := indexByLength(mined, maxLen)
+
+	rep := &Report{}
+	var totTrue, totMined, totHits, totFP, totFN int
+	var totRelErr float64
+	var totRelCount int
+	for l := 0; l < maxLen; l++ {
+		tm, mm := trueByLen[l], minedByLen[l]
+		var hits, fp, fn int
+		var relErr float64
+		for key, trueSup := range tm {
+			if minedSup, ok := mm[key]; ok {
+				hits++
+				if trueSup > 0 {
+					relErr += math.Abs(minedSup-trueSup) / trueSup
+				}
+			} else {
+				fn++
+			}
+		}
+		for key := range mm {
+			if _, ok := tm[key]; !ok {
+				fp++
+			}
+		}
+		le := LevelErrors{
+			Length:     l + 1,
+			TrueCount:  len(tm),
+			MinedCount: len(mm),
+		}
+		if hits > 0 {
+			le.SupportError = relErr / float64(hits) * 100
+		} else {
+			le.SupportError = math.NaN()
+		}
+		if len(tm) > 0 {
+			le.FalsePositives = float64(fp) / float64(len(tm)) * 100
+			le.FalseNegatives = float64(fn) / float64(len(tm)) * 100
+		} else if fp > 0 {
+			le.FalsePositives = math.Inf(1)
+		}
+		rep.Levels = append(rep.Levels, le)
+
+		totTrue += len(tm)
+		totMined += len(mm)
+		totHits += hits
+		totFP += fp
+		totFN += fn
+		totRelErr += relErr
+		totRelCount += hits
+	}
+	rep.Overall = LevelErrors{
+		Length:     0,
+		TrueCount:  totTrue,
+		MinedCount: totMined,
+	}
+	if totRelCount > 0 {
+		rep.Overall.SupportError = totRelErr / float64(totRelCount) * 100
+	} else {
+		rep.Overall.SupportError = math.NaN()
+	}
+	if totTrue > 0 {
+		rep.Overall.FalsePositives = float64(totFP) / float64(totTrue) * 100
+		rep.Overall.FalseNegatives = float64(totFN) / float64(totTrue) * 100
+	}
+	return rep, nil
+}
+
+func indexByLength(r *mining.Result, maxLen int) []map[string]float64 {
+	out := make([]map[string]float64, maxLen)
+	for i := range out {
+		out[i] = make(map[string]float64)
+	}
+	for _, level := range r.ByLength {
+		for _, f := range level {
+			l := f.Items.Len() - 1
+			if l >= 0 && l < maxLen {
+				out[l][f.Items.Key()] = f.Support
+			}
+		}
+	}
+	return out
+}
+
+// Level returns the metrics for itemset length l (1-based), if present.
+func (r *Report) Level(l int) (LevelErrors, bool) {
+	for _, le := range r.Levels {
+		if le.Length == l {
+			return le, true
+		}
+	}
+	return LevelErrors{}, false
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mining"
+)
+
+func mkResult(levels ...[]mining.FrequentItemset) *mining.Result {
+	return &mining.Result{MinSupport: 0.02, ByLength: levels}
+}
+
+func item(a, v int) mining.Item { return mining.Item{Attr: a, Value: v} }
+
+func fi(sup float64, items ...mining.Item) mining.FrequentItemset {
+	s, err := mining.NewItemset(items...)
+	if err != nil {
+		panic(err)
+	}
+	return mining.FrequentItemset{Items: s, Support: sup}
+}
+
+func TestEvaluatePerfectRun(t *testing.T) {
+	truth := mkResult(
+		[]mining.FrequentItemset{fi(0.5, item(0, 0)), fi(0.3, item(1, 1))},
+		[]mining.FrequentItemset{fi(0.2, item(0, 0), item(1, 1))},
+	)
+	rep, err := Evaluate(truth, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, le := range rep.Levels {
+		if le.SupportError != 0 {
+			t.Fatalf("length %d: support error %v", le.Length, le.SupportError)
+		}
+		if le.FalsePositives != 0 || le.FalseNegatives != 0 {
+			t.Fatalf("length %d: identity errors %v/%v", le.Length, le.FalsePositives, le.FalseNegatives)
+		}
+	}
+	if rep.Overall.SupportError != 0 || rep.Overall.TrueCount != 3 {
+		t.Fatalf("overall %+v", rep.Overall)
+	}
+}
+
+func TestEvaluateKnownErrors(t *testing.T) {
+	truth := mkResult(
+		[]mining.FrequentItemset{
+			fi(0.5, item(0, 0)),
+			fi(0.4, item(1, 1)),
+			fi(0.2, item(2, 2)),
+			fi(0.1, item(2, 3)),
+		},
+	)
+	// Mined: got 0=0 with 10% relative error, missed 1=1 and 2=3,
+	// matched 2=2 exactly, and invented 1=0.
+	mined := mkResult(
+		[]mining.FrequentItemset{
+			fi(0.55, item(0, 0)),
+			fi(0.2, item(2, 2)),
+			fi(0.3, item(1, 0)),
+		},
+	)
+	rep, err := Evaluate(truth, mined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, ok := rep.Level(1)
+	if !ok {
+		t.Fatal("level 1 missing")
+	}
+	// ρ = mean(10%, 0%) = 5%.
+	if math.Abs(le.SupportError-5) > 1e-9 {
+		t.Fatalf("support error %v, want 5", le.SupportError)
+	}
+	// σ− = 2/4·100 = 50; σ+ = 1/4·100 = 25.
+	if math.Abs(le.FalseNegatives-50) > 1e-9 {
+		t.Fatalf("false negatives %v, want 50", le.FalseNegatives)
+	}
+	if math.Abs(le.FalsePositives-25) > 1e-9 {
+		t.Fatalf("false positives %v, want 25", le.FalsePositives)
+	}
+	if le.TrueCount != 4 || le.MinedCount != 3 {
+		t.Fatalf("counts %d/%d", le.TrueCount, le.MinedCount)
+	}
+}
+
+func TestEvaluateMissedWholeLevel(t *testing.T) {
+	truth := mkResult(
+		[]mining.FrequentItemset{fi(0.5, item(0, 0))},
+		[]mining.FrequentItemset{fi(0.2, item(0, 0), item(1, 1))},
+	)
+	mined := mkResult(
+		[]mining.FrequentItemset{fi(0.5, item(0, 0))},
+	)
+	rep, err := Evaluate(truth, mined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, ok := rep.Level(2)
+	if !ok {
+		t.Fatal("level 2 missing")
+	}
+	if !math.IsNaN(le.SupportError) {
+		t.Fatalf("support error %v, want NaN (nothing identified)", le.SupportError)
+	}
+	if le.FalseNegatives != 100 {
+		t.Fatalf("false negatives %v, want 100", le.FalseNegatives)
+	}
+}
+
+func TestEvaluateExtraLevelInMined(t *testing.T) {
+	truth := mkResult(
+		[]mining.FrequentItemset{fi(0.5, item(0, 0))},
+	)
+	mined := mkResult(
+		[]mining.FrequentItemset{fi(0.5, item(0, 0))},
+		[]mining.FrequentItemset{fi(0.2, item(0, 0), item(1, 1))},
+	)
+	rep, err := Evaluate(truth, mined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, ok := rep.Level(2)
+	if !ok {
+		t.Fatal("level 2 missing from report")
+	}
+	if !math.IsInf(le.FalsePositives, 1) {
+		t.Fatalf("false positives with empty truth = %v, want +Inf", le.FalsePositives)
+	}
+}
+
+func TestEvaluateNil(t *testing.T) {
+	if _, err := Evaluate(nil, mkResult()); !errors.Is(err, ErrMetrics) {
+		t.Fatal("nil truth accepted")
+	}
+	if _, err := Evaluate(mkResult(), nil); !errors.Is(err, ErrMetrics) {
+		t.Fatal("nil mined accepted")
+	}
+}
+
+func TestLevelLookupMissing(t *testing.T) {
+	rep := &Report{}
+	if _, ok := rep.Level(3); ok {
+		t.Fatal("Level invented data")
+	}
+}

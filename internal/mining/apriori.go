@@ -1,0 +1,249 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// SupportCounter supplies (possibly reconstructed) absolute support
+// counts for candidate itemsets. Implementations: ExactCounter (ground
+// truth), GammaCounter (DET-GD / RAN-GD reconstruction), MaskCounter and
+// CutPasteCounter (baseline reconstructions).
+type SupportCounter interface {
+	// Supports returns the estimated support count of each candidate.
+	Supports(candidates []Itemset) ([]float64, error)
+	// N returns the number of database records.
+	N() int
+	// Schema returns the categorical schema being mined.
+	Schema() *dataset.Schema
+}
+
+// FrequentItemset pairs an itemset with its (estimated) support fraction.
+type FrequentItemset struct {
+	Items   Itemset
+	Support float64 // fraction of records, in [0,1] up to estimation error
+}
+
+// Result is the output of one Apriori run.
+type Result struct {
+	MinSupport float64
+	// ByLength[k] holds the frequent itemsets of length k+1, sorted by key.
+	ByLength [][]FrequentItemset
+}
+
+// Counts returns the number of frequent itemsets at each length,
+// the paper's Table 3 row format.
+func (r *Result) Counts() []int {
+	out := make([]int, len(r.ByLength))
+	for i, level := range r.ByLength {
+		out[i] = len(level)
+	}
+	return out
+}
+
+// All returns every frequent itemset keyed by canonical key.
+func (r *Result) All() map[string]FrequentItemset {
+	out := make(map[string]FrequentItemset)
+	for _, level := range r.ByLength {
+		for _, f := range level {
+			out[f.Items.Key()] = f
+		}
+	}
+	return out
+}
+
+// Lookup returns the frequent itemset with the given key, if present.
+func (r *Result) Lookup(key string) (FrequentItemset, bool) {
+	for _, level := range r.ByLength {
+		for _, f := range level {
+			if f.Items.Key() == key {
+				return f, true
+			}
+		}
+	}
+	return FrequentItemset{}, false
+}
+
+// Options tunes the Apriori run.
+type Options struct {
+	// CandidateRelaxation, in (0, 1], lowers the support threshold used
+	// for KEEPING CANDIDATES ALIVE between passes to
+	// relaxation·minSupport, while the reported result is still filtered
+	// at the full minSupport. Under noisy support reconstruction, a
+	// single under-estimated subset kills every superset in plain
+	// Apriori; relaxing the intermediate threshold trades extra counting
+	// work for fewer propagated false negatives. 1 (the default)
+	// reproduces the paper's plain algorithm.
+	CandidateRelaxation float64
+}
+
+// Apriori mines all itemsets with support ≥ minSupport (a fraction in
+// (0,1]) using the level-wise algorithm of Agrawal & Srikant (VLDB 1994),
+// with the counter abstracting the per-pass support computation — for
+// perturbed databases this is where the paper's "support reconstruction
+// phase at the end of each pass" happens.
+func Apriori(c SupportCounter, minSupport float64) (*Result, error) {
+	return AprioriWithOptions(c, minSupport, Options{CandidateRelaxation: 1})
+}
+
+// AprioriWithOptions is Apriori with explicit tuning.
+func AprioriWithOptions(c SupportCounter, minSupport float64, opts Options) (*Result, error) {
+	if !(minSupport > 0 && minSupport <= 1) {
+		return nil, fmt.Errorf("%w: minSupport %v not in (0,1]", ErrMining, minSupport)
+	}
+	if !(opts.CandidateRelaxation > 0 && opts.CandidateRelaxation <= 1) {
+		return nil, fmt.Errorf("%w: candidate relaxation %v not in (0,1]", ErrMining, opts.CandidateRelaxation)
+	}
+	sc := c.Schema()
+	n := c.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty database", ErrMining)
+	}
+	threshold := minSupport * float64(n)
+	aliveThreshold := threshold * opts.CandidateRelaxation
+
+	// Level 1: all single items.
+	var candidates []Itemset
+	for a := 0; a < sc.M(); a++ {
+		for v := 0; v < sc.Attrs[a].Cardinality(); v++ {
+			candidates = append(candidates, Itemset{{Attr: a, Value: v}})
+		}
+	}
+
+	res := &Result{MinSupport: minSupport}
+	for len(candidates) > 0 {
+		counts, err := c.Supports(candidates)
+		if err != nil {
+			return nil, err
+		}
+		if len(counts) != len(candidates) {
+			return nil, fmt.Errorf("%w: counter returned %d counts for %d candidates", ErrMining, len(counts), len(candidates))
+		}
+		var level, alive []FrequentItemset
+		for i, cnt := range counts {
+			fi := FrequentItemset{Items: candidates[i], Support: cnt / float64(n)}
+			if cnt >= threshold {
+				level = append(level, fi)
+			}
+			if cnt >= aliveThreshold {
+				alive = append(alive, fi)
+			}
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i].Items.Key() < level[j].Items.Key() })
+		sort.Slice(alive, func(i, j int) bool { return alive[i].Items.Key() < alive[j].Items.Key() })
+		if len(level) > 0 {
+			res.ByLength = append(res.ByLength, level)
+		} else if opts.CandidateRelaxation == 1 {
+			break
+		}
+		if len(alive) == 0 {
+			break
+		}
+		candidates = generateCandidates(alive)
+	}
+	// Trim trailing empty levels cannot occur (levels are only appended
+	// when non-empty), but with relaxation the result can have gaps in
+	// length; ByLength indexes by appearance order, so re-bucket by
+	// actual length for stable semantics.
+	res.normalize()
+	return res, nil
+}
+
+// normalize re-buckets ByLength so index k holds exactly the itemsets of
+// length k+1, dropping trailing empty levels.
+func (r *Result) normalize() {
+	maxLen := 0
+	for _, level := range r.ByLength {
+		for _, f := range level {
+			if f.Items.Len() > maxLen {
+				maxLen = f.Items.Len()
+			}
+		}
+	}
+	buckets := make([][]FrequentItemset, maxLen)
+	for _, level := range r.ByLength {
+		for _, f := range level {
+			buckets[f.Items.Len()-1] = append(buckets[f.Items.Len()-1], f)
+		}
+	}
+	for _, b := range buckets {
+		sort.Slice(b, func(i, j int) bool { return b[i].Items.Key() < b[j].Items.Key() })
+	}
+	// Drop trailing empty buckets (can appear when only longer-level
+	// survivors existed below the full threshold).
+	for len(buckets) > 0 && len(buckets[len(buckets)-1]) == 0 {
+		buckets = buckets[:len(buckets)-1]
+	}
+	r.ByLength = buckets
+}
+
+// generateCandidates implements the Apriori join + prune: two frequent
+// k-itemsets sharing their first k−1 items (and with distinct final
+// attributes) join into a (k+1)-candidate, which is kept only if all its
+// k-subsets are frequent.
+func generateCandidates(level []FrequentItemset) []Itemset {
+	frequent := make(map[string]bool, len(level))
+	for _, f := range level {
+		frequent[f.Items.Key()] = true
+	}
+	var out []Itemset
+	for i := 0; i < len(level); i++ {
+		a := level[i].Items
+		for j := i + 1; j < len(level); j++ {
+			b := level[j].Items
+			if !joinable(a, b) {
+				continue
+			}
+			cand := make(Itemset, len(a)+1)
+			copy(cand, a)
+			cand[len(a)] = b[len(b)-1]
+			// Canonical order: the new last item must sort after a's last.
+			if len(a) > 0 && cand[len(a)].Attr < cand[len(a)-1].Attr {
+				cand[len(a)-1], cand[len(a)] = cand[len(a)], cand[len(a)-1]
+			}
+			sort.Slice(cand, func(x, y int) bool { return cand[x].Attr < cand[y].Attr })
+			if cand[len(cand)-1].Attr == cand[len(cand)-2].Attr {
+				continue // same attribute twice: unsupportable
+			}
+			if !allSubsetsFrequent(cand, frequent) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	// Deduplicate (a pair can be generated from multiple joins after
+	// re-sorting).
+	seen := make(map[string]bool, len(out))
+	dedup := out[:0]
+	for _, c := range out {
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, c)
+		}
+	}
+	return dedup
+}
+
+func joinable(a, b Itemset) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	for k := 0; k < len(a)-1; k++ {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+func allSubsetsFrequent(cand Itemset, frequent map[string]bool) bool {
+	for _, sub := range cand.Subsets() {
+		if !frequent[sub.Key()] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,194 @@
+package mining
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// groupByAttrs buckets candidates by their attribute set so each group
+// can be counted with a single database pass (one marginal histogram).
+func groupByAttrs(candidates []Itemset) map[string][]int {
+	groups := make(map[string][]int)
+	for i, c := range candidates {
+		key := fmt.Sprint(c.Attrs())
+		groups[key] = append(groups[key], i)
+	}
+	return groups
+}
+
+// ExactCounter counts true supports on an unperturbed categorical
+// database — the ground truth against which reconstruction accuracy is
+// measured.
+type ExactCounter struct {
+	DB *dataset.Database
+}
+
+// N returns the database size.
+func (c *ExactCounter) N() int { return c.DB.N() }
+
+// Schema returns the database schema.
+func (c *ExactCounter) Schema() *dataset.Schema { return c.DB.Schema }
+
+// Supports counts exactly via one marginal histogram per attribute group.
+func (c *ExactCounter) Supports(candidates []Itemset) ([]float64, error) {
+	out := make([]float64, len(candidates))
+	for _, idxs := range groupByAttrs(candidates) {
+		cols := candidates[idxs[0]].Attrs()
+		hist, err := c.DB.SubHistogram(cols)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range idxs {
+			sub, err := subIndexOf(c.DB.Schema, candidates[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = hist[sub]
+		}
+	}
+	return out, nil
+}
+
+func subIndexOf(sc *dataset.Schema, s Itemset) (int, error) {
+	if err := s.Validate(sc); err != nil {
+		return 0, err
+	}
+	idx := 0
+	for _, it := range s {
+		idx = idx*sc.Attrs[it.Attr].Cardinality() + it.Value
+	}
+	return idx, nil
+}
+
+// GammaCounter reconstructs supports from a database perturbed with a
+// (deterministic or randomized) gamma-diagonal matrix, using the Eq. 28
+// marginal matrices in closed form: for an itemset L over attribute
+// subset Cs, the estimate is (Y_L − ō·N) / (d̄ − ō), where Y_L is L's
+// count in the perturbed database and d̄, ō are the marginal matrix's
+// diagonal and off-diagonal entries. For RAN-GD, pass the EXPECTED
+// matrix — exactly what the paper's miner knows.
+type GammaCounter struct {
+	Perturbed *dataset.Database
+	Matrix    core.UniformMatrix
+}
+
+// NewGammaCounter validates that the matrix matches the schema domain.
+func NewGammaCounter(perturbed *dataset.Database, m core.UniformMatrix) (*GammaCounter, error) {
+	if m.N != perturbed.Schema.DomainSize() {
+		return nil, fmt.Errorf("%w: matrix order %d vs domain %d", ErrMining, m.N, perturbed.Schema.DomainSize())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &GammaCounter{Perturbed: perturbed, Matrix: m}, nil
+}
+
+// N returns the database size.
+func (c *GammaCounter) N() int { return c.Perturbed.N() }
+
+// Schema returns the database schema.
+func (c *GammaCounter) Schema() *dataset.Schema { return c.Perturbed.Schema }
+
+// Supports reconstructs one attribute group at a time.
+func (c *GammaCounter) Supports(candidates []Itemset) ([]float64, error) {
+	out := make([]float64, len(candidates))
+	n := float64(c.Perturbed.N())
+	for _, idxs := range groupByAttrs(candidates) {
+		cols := candidates[idxs[0]].Attrs()
+		nSub, err := c.Perturbed.Schema.SubdomainSize(cols)
+		if err != nil {
+			return nil, err
+		}
+		marg, err := c.Matrix.Marginal(nSub)
+		if err != nil {
+			return nil, err
+		}
+		a := marg.Diag - marg.Off
+		hist, err := c.Perturbed.SubHistogram(cols)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range idxs {
+			sub, err := subIndexOf(c.Perturbed.Schema, candidates[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = (hist[sub] - marg.Off*n) / a
+		}
+	}
+	return out, nil
+}
+
+// MaskCounter reconstructs supports from a MASK-perturbed boolean
+// database via the tensor-structured inverse.
+type MaskCounter struct {
+	Perturbed *core.BoolDatabase
+	Scheme    *core.MaskScheme
+}
+
+// N returns the database size.
+func (c *MaskCounter) N() int { return c.Perturbed.N() }
+
+// Schema returns the database schema.
+func (c *MaskCounter) Schema() *dataset.Schema { return c.Scheme.Mapping.Schema }
+
+// Supports estimates each candidate independently.
+func (c *MaskCounter) Supports(candidates []Itemset) ([]float64, error) {
+	out := make([]float64, len(candidates))
+	for i, cand := range candidates {
+		bits, err := itemBits(c.Scheme.Mapping, cand)
+		if err != nil {
+			return nil, err
+		}
+		est, err := c.Scheme.EstimateSupport(c.Perturbed, bits)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = est
+	}
+	return out, nil
+}
+
+// CutPasteCounter reconstructs supports from a C&P-perturbed boolean
+// database via the (l+1)×(l+1) partial-support matrices.
+type CutPasteCounter struct {
+	Perturbed *core.BoolDatabase
+	Scheme    *core.CutPasteScheme
+}
+
+// N returns the database size.
+func (c *CutPasteCounter) N() int { return c.Perturbed.N() }
+
+// Schema returns the database schema.
+func (c *CutPasteCounter) Schema() *dataset.Schema { return c.Scheme.Mapping.Schema }
+
+// Supports estimates each candidate independently.
+func (c *CutPasteCounter) Supports(candidates []Itemset) ([]float64, error) {
+	out := make([]float64, len(candidates))
+	for i, cand := range candidates {
+		bits, err := itemBits(c.Scheme.Mapping, cand)
+		if err != nil {
+			return nil, err
+		}
+		est, err := c.Scheme.EstimateSupport(c.Perturbed, bits)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = est
+	}
+	return out, nil
+}
+
+func itemBits(m *core.BoolMapping, s Itemset) ([]int, error) {
+	bits := make([]int, len(s))
+	for k, it := range s {
+		b, err := m.Bit(it.Attr, it.Value)
+		if err != nil {
+			return nil, err
+		}
+		bits[k] = b
+	}
+	return bits, nil
+}

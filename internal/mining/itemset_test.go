@@ -1,0 +1,116 @@
+package mining
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func miningSchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	s, err := dataset.NewSchema("mining-test", []dataset.Attribute{
+		{Name: "a", Categories: []string{"a0", "a1", "a2"}},
+		{Name: "b", Categories: []string{"b0", "b1"}},
+		{Name: "c", Categories: []string{"c0", "c1", "c2", "c3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewItemsetCanonicalizes(t *testing.T) {
+	s, err := NewItemset(Item{2, 1}, Item{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Attr != 0 || s[1].Attr != 2 {
+		t.Fatalf("not sorted: %v", s)
+	}
+	if s.Key() != "0=2,2=1" {
+		t.Fatalf("Key = %q", s.Key())
+	}
+	if _, err := NewItemset(Item{1, 0}, Item{1, 1}); !errors.Is(err, ErrMining) {
+		t.Fatal("duplicate attribute accepted")
+	}
+}
+
+func TestItemsetSupports(t *testing.T) {
+	s, _ := NewItemset(Item{0, 1}, Item{2, 3})
+	if !s.Supports(dataset.Record{1, 0, 3}) {
+		t.Fatal("supporting record rejected")
+	}
+	if s.Supports(dataset.Record{1, 0, 2}) {
+		t.Fatal("non-supporting record accepted")
+	}
+	if s.Supports(dataset.Record{1}) {
+		t.Fatal("short record accepted")
+	}
+	empty := Itemset{}
+	if !empty.Supports(dataset.Record{0, 0, 0}) {
+		t.Fatal("empty itemset must support everything")
+	}
+}
+
+func TestItemsetSubsets(t *testing.T) {
+	s, _ := NewItemset(Item{0, 0}, Item{1, 1}, Item{2, 2})
+	subs := s.Subsets()
+	if len(subs) != 3 {
+		t.Fatalf("got %d subsets", len(subs))
+	}
+	keys := map[string]bool{}
+	for _, sub := range subs {
+		if sub.Len() != 2 {
+			t.Fatalf("subset length %d", sub.Len())
+		}
+		keys[sub.Key()] = true
+	}
+	for _, want := range []string{"0=0,1=1", "0=0,2=2", "1=1,2=2"} {
+		if !keys[want] {
+			t.Fatalf("missing subset %q", want)
+		}
+	}
+}
+
+func TestItemsetValidate(t *testing.T) {
+	sc := miningSchema(t)
+	good, _ := NewItemset(Item{0, 2}, Item{2, 3})
+	if err := good.Validate(sc); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Itemset{
+		{{Attr: 5, Value: 0}},
+		{{Attr: 0, Value: 9}},
+		{{Attr: 1, Value: 0}, {Attr: 0, Value: 0}}, // out of order
+	}
+	for i, b := range bad {
+		if err := b.Validate(sc); !errors.Is(err, ErrMining) {
+			t.Errorf("bad itemset %d accepted", i)
+		}
+	}
+}
+
+func TestItemsetAttrsValuesContains(t *testing.T) {
+	s, _ := NewItemset(Item{0, 2}, Item{2, 1})
+	a := s.Attrs()
+	v := s.Values()
+	if a[0] != 0 || a[1] != 2 || v[0] != 2 || v[1] != 1 {
+		t.Fatalf("Attrs/Values wrong: %v %v", a, v)
+	}
+	if !s.Contains(Item{0, 2}) || s.Contains(Item{0, 1}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestItemsetFormatWith(t *testing.T) {
+	sc := miningSchema(t)
+	s, _ := NewItemset(Item{0, 1}, Item{1, 0})
+	if got := s.FormatWith(sc); got != "a=a1 & b=b0" {
+		t.Fatalf("FormatWith = %q", got)
+	}
+	bad := Itemset{{Attr: 9, Value: 9}}
+	if got := bad.FormatWith(sc); got != bad.Key() {
+		t.Fatalf("invalid itemset should fall back to key, got %q", got)
+	}
+}

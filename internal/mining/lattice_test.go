@@ -1,0 +1,156 @@
+package mining
+
+import (
+	"testing"
+)
+
+func latticeResult() *Result {
+	// Frequent lattice:
+	//   {a}=0.6  {b}=0.5  {c}=0.4
+	//   {a,b}=0.5  {a,c}=0.3
+	//   {a,b,c}=0.25
+	mk := func(sup float64, items ...Item) FrequentItemset {
+		s, err := NewItemset(items...)
+		if err != nil {
+			panic(err)
+		}
+		return FrequentItemset{Items: s, Support: sup}
+	}
+	return &Result{
+		MinSupport: 0.2,
+		ByLength: [][]FrequentItemset{
+			{mk(0.6, Item{0, 0}), mk(0.5, Item{1, 0}), mk(0.4, Item{2, 0})},
+			{mk(0.5, Item{0, 0}, Item{1, 0}), mk(0.3, Item{0, 0}, Item{2, 0})},
+			{mk(0.25, Item{0, 0}, Item{1, 0}, Item{2, 0})},
+		},
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	res := latticeResult()
+	max := Maximal(res)
+	// Only {a,b,c} is maximal: every other set extends to it or to a pair.
+	// {b} extends to {a,b}; {c} to {a,c}; pairs to the triple.
+	if len(max) != 1 {
+		t.Fatalf("maximal sets: %v", max)
+	}
+	if max[0].Items.Key() != "0=0,1=0,2=0" {
+		t.Fatalf("maximal = %v", max[0].Items.Key())
+	}
+}
+
+func TestMaximalWithTwoBorders(t *testing.T) {
+	mk := func(sup float64, items ...Item) FrequentItemset {
+		s, _ := NewItemset(items...)
+		return FrequentItemset{Items: s, Support: sup}
+	}
+	res := &Result{
+		MinSupport: 0.2,
+		ByLength: [][]FrequentItemset{
+			{mk(0.6, Item{0, 0}), mk(0.5, Item{1, 0}), mk(0.4, Item{2, 1})},
+			{mk(0.5, Item{0, 0}, Item{1, 0})},
+		},
+	}
+	max := Maximal(res)
+	if len(max) != 2 {
+		t.Fatalf("want {a,b} and {c=1} maximal, got %v", max)
+	}
+	keys := map[string]bool{}
+	for _, m := range max {
+		keys[m.Items.Key()] = true
+	}
+	if !keys["0=0,1=0"] || !keys["2=1"] {
+		t.Fatalf("maximal keys wrong: %v", keys)
+	}
+}
+
+func TestClosed(t *testing.T) {
+	res := latticeResult()
+	closed := Closed(res, 1e-9)
+	// {b} (0.5) has superset {a,b} with the SAME support → not closed.
+	// Everything else has strictly larger support than its supersets.
+	keys := map[string]bool{}
+	for _, c := range closed {
+		keys[c.Items.Key()] = true
+	}
+	if keys["1=0"] {
+		t.Fatal("{b} should not be closed (absorbed by {a,b})")
+	}
+	for _, want := range []string{"0=0", "2=0", "0=0,1=0", "0=0,2=0", "0=0,1=0,2=0"} {
+		if !keys[want] {
+			t.Fatalf("closed set %s missing; got %v", want, keys)
+		}
+	}
+}
+
+func TestClosedToleranceAbsorbsNoise(t *testing.T) {
+	mk := func(sup float64, items ...Item) FrequentItemset {
+		s, _ := NewItemset(items...)
+		return FrequentItemset{Items: s, Support: sup}
+	}
+	res := &Result{
+		MinSupport: 0.2,
+		ByLength: [][]FrequentItemset{
+			{mk(0.500, Item{0, 0})},
+			{mk(0.498, Item{0, 0}, Item{1, 0})}, // nearly equal support
+		},
+	}
+	strict := Closed(res, 1e-9)
+	loose := Closed(res, 0.01)
+	if len(strict) != 2 {
+		t.Fatalf("strict closed = %v", strict)
+	}
+	if len(loose) != 1 || loose[0].Items.Key() != "0=0,1=0" {
+		t.Fatalf("loose closed = %v", loose)
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	a, _ := NewItemset(Item{0, 0}, Item{2, 1})
+	b, _ := NewItemset(Item{0, 0}, Item{1, 0}, Item{2, 1})
+	if !isSubset(a, b) {
+		t.Fatal("subset not detected")
+	}
+	if isSubset(b, a) {
+		t.Fatal("superset misdetected as subset")
+	}
+	c, _ := NewItemset(Item{0, 1}, Item{2, 1})
+	if isSubset(c, b) {
+		t.Fatal("different value misdetected")
+	}
+	empty := Itemset{}
+	if !isSubset(empty, b) {
+		t.Fatal("empty set is a subset of everything")
+	}
+}
+
+func TestMaximalClosedOnRealMiningRun(t *testing.T) {
+	db := buildSkewedDB(t, 10000, 30)
+	res, err := Apriori(&ExactCounter{DB: db}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := Maximal(res)
+	all := res.All()
+	// Every maximal set must be frequent and have no frequent superset.
+	for _, m := range max {
+		if _, ok := all[m.Items.Key()]; !ok {
+			t.Fatalf("maximal %s not frequent", m.Items.Key())
+		}
+		for _, other := range all {
+			if other.Items.Len() > m.Items.Len() && isSubset(m.Items, other.Items) {
+				t.Fatalf("maximal %s has frequent superset %s", m.Items.Key(), other.Items.Key())
+			}
+		}
+	}
+	// Closed ⊇ maximal (every maximal set is closed).
+	closedKeys := map[string]bool{}
+	for _, c := range Closed(res, 1e-9) {
+		closedKeys[c.Items.Key()] = true
+	}
+	for _, m := range max {
+		if !closedKeys[m.Items.Key()] {
+			t.Fatalf("maximal %s not closed", m.Items.Key())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package mining
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// counterState is the serialized form of a MaterializedGammaCounter.
+// The schema itself is NOT serialized — the loader supplies it and the
+// state is validated against it, so a state file can never silently
+// reinterpret a different schema's counts.
+type counterState struct {
+	Version    int
+	SchemaName string
+	M          int
+	DomainSize int
+	MatrixN    int
+	MatrixDiag float64
+	MatrixOff  float64
+	N          int
+	Hists      [][]float64
+}
+
+const counterStateVersion = 1
+
+// Save serializes the counter (gob encoding) so a collection server can
+// restart without losing submissions.
+func (c *MaterializedGammaCounter) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := counterState{
+		Version:    counterStateVersion,
+		SchemaName: c.schema.Name,
+		M:          c.schema.M(),
+		DomainSize: c.schema.DomainSize(),
+		MatrixN:    c.matrix.N,
+		MatrixDiag: c.matrix.Diag,
+		MatrixOff:  c.matrix.Off,
+		N:          c.n,
+		Hists:      c.hists,
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// LoadMaterializedGammaCounter restores a counter saved with Save,
+// validating every structural invariant against the supplied schema and
+// matrix before accepting the state.
+func LoadMaterializedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix) (*MaterializedGammaCounter, error) {
+	var st counterState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: decoding counter state: %v", ErrMining, err)
+	}
+	if st.Version != counterStateVersion {
+		return nil, fmt.Errorf("%w: counter state version %d, want %d", ErrMining, st.Version, counterStateVersion)
+	}
+	if st.SchemaName != schema.Name || st.M != schema.M() || st.DomainSize != schema.DomainSize() {
+		return nil, fmt.Errorf("%w: state was saved for schema %q (M=%d, |S_U|=%d), not %q (M=%d, |S_U|=%d)",
+			ErrMining, st.SchemaName, st.M, st.DomainSize, schema.Name, schema.M(), schema.DomainSize())
+	}
+	if st.MatrixN != m.N || st.MatrixDiag != m.Diag || st.MatrixOff != m.Off {
+		return nil, fmt.Errorf("%w: state was saved under a different perturbation matrix", ErrMining)
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("%w: negative record count %d", ErrMining, st.N)
+	}
+	c, err := NewMaterializedGammaCounter(schema, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Hists) != len(c.hists) {
+		return nil, fmt.Errorf("%w: state has %d subset histograms, want %d", ErrMining, len(st.Hists), len(c.hists))
+	}
+	var total float64
+	for mask := 1; mask < len(c.hists); mask++ {
+		if len(st.Hists[mask]) != len(c.hists[mask]) {
+			return nil, fmt.Errorf("%w: subset %d histogram has %d cells, want %d",
+				ErrMining, mask, len(st.Hists[mask]), len(c.hists[mask]))
+		}
+		var sum float64
+		for _, v := range st.Hists[mask] {
+			if v < 0 {
+				return nil, fmt.Errorf("%w: negative count in subset %d", ErrMining, mask)
+			}
+			sum += v
+		}
+		if diff := sum - float64(st.N); diff > 1e-6 || diff < -1e-6 {
+			return nil, fmt.Errorf("%w: subset %d totals %v, want %d", ErrMining, mask, sum, st.N)
+		}
+		copy(c.hists[mask], st.Hists[mask])
+		total += sum
+	}
+	c.n = st.N
+	_ = total
+	return c, nil
+}

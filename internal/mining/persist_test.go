@@ -1,0 +1,119 @@
+package mining
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestCounterSaveLoadRoundTrip(t *testing.T) {
+	db := buildSkewedDB(t, 5000, 50)
+	sc := db.Schema
+	m, _ := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	p, _ := core.NewGammaPerturber(sc, m)
+	pdb, err := core.PerturbDatabase(db, p, rand.New(rand.NewSource(51)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewMaterializedGammaCounter(sc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDatabase(pdb); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMaterializedGammaCounter(&buf, sc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != c.N() {
+		t.Fatalf("restored N = %d, want %d", back.N(), c.N())
+	}
+	cands := []Itemset{
+		{{0, 0}},
+		{{0, 0}, {1, 0}, {2, 0}},
+		{{1, 1}, {2, 3}},
+	}
+	a, err := c.Supports(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Supports(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("candidate %d: %v vs restored %v", i, a[i], b[i])
+		}
+	}
+	// The restored counter keeps working as a live counter.
+	if err := back.Add(dataset.Record{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != c.N()+1 {
+		t.Fatal("restored counter not live")
+	}
+}
+
+func TestLoadRejectsMismatchedSchema(t *testing.T) {
+	db := buildSkewedDB(t, 100, 52)
+	sc := db.Schema
+	m, _ := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	c, _ := NewMaterializedGammaCounter(sc, m)
+	if err := c.AddDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.CensusSchema()
+	om, _ := core.NewGammaDiagonal(other.DomainSize(), 19)
+	if _, err := LoadMaterializedGammaCounter(bytes.NewReader(buf.Bytes()), other, om); !errors.Is(err, ErrMining) {
+		t.Fatal("mismatched schema accepted")
+	}
+	// Same schema, different matrix.
+	m2, _ := core.NewGammaDiagonal(sc.DomainSize(), 9)
+	if _, err := LoadMaterializedGammaCounter(bytes.NewReader(buf.Bytes()), sc, m2); !errors.Is(err, ErrMining) {
+		t.Fatal("mismatched matrix accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	sc := miningSchema(t)
+	m, _ := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	if _, err := LoadMaterializedGammaCounter(strings.NewReader("not gob"), sc, m); !errors.Is(err, ErrMining) {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsTamperedState(t *testing.T) {
+	db := buildSkewedDB(t, 200, 53)
+	sc := db.Schema
+	m, _ := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	c, _ := NewMaterializedGammaCounter(sc, m)
+	if err := c.AddDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: inconsistent per-subset totals must be rejected. Corrupt
+	// by mutating a histogram before save.
+	c.hists[1][0] += 5
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMaterializedGammaCounter(&buf, sc, m); !errors.Is(err, ErrMining) {
+		t.Fatal("inconsistent totals accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package mining
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestGenerateRulesKnown(t *testing.T) {
+	// Hand-built result: sup(a)=0.5, sup(b)=0.4, sup(ab)=0.35.
+	a, _ := NewItemset(Item{0, 0})
+	b, _ := NewItemset(Item{1, 1})
+	ab, _ := NewItemset(Item{0, 0}, Item{1, 1})
+	res := &Result{
+		MinSupport: 0.1,
+		ByLength: [][]FrequentItemset{
+			{{Items: a, Support: 0.5}, {Items: b, Support: 0.4}},
+			{{Items: ab, Support: 0.35}},
+		},
+	}
+	rules, err := GenerateRules(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2 (a⇒b and b⇒a)", len(rules))
+	}
+	// b⇒a has confidence 0.875, a⇒b has 0.7; sorted descending.
+	if rules[0].Antecedent.Key() != "1=1" || math.Abs(rules[0].Confidence-0.875) > 1e-12 {
+		t.Fatalf("rule[0] = %v", rules[0])
+	}
+	if rules[1].Antecedent.Key() != "0=0" || math.Abs(rules[1].Confidence-0.7) > 1e-12 {
+		t.Fatalf("rule[1] = %v", rules[1])
+	}
+	if rules[0].Support != 0.35 {
+		t.Fatalf("rule support %v", rules[0].Support)
+	}
+	if rules[0].String() == "" {
+		t.Fatal("String empty")
+	}
+
+	// Raising the threshold drops the weaker rule.
+	strict, err := GenerateRules(res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != 1 || strict[0].Antecedent.Key() != "1=1" {
+		t.Fatalf("strict rules = %v", strict)
+	}
+}
+
+func TestGenerateRulesThreeWay(t *testing.T) {
+	abc, _ := NewItemset(Item{0, 0}, Item{1, 1}, Item{2, 2})
+	res := &Result{
+		MinSupport: 0.1,
+		ByLength: [][]FrequentItemset{
+			{
+				{Items: Itemset{{0, 0}}, Support: 0.5},
+				{Items: Itemset{{1, 1}}, Support: 0.5},
+				{Items: Itemset{{2, 2}}, Support: 0.5},
+			},
+			{
+				{Items: Itemset{{0, 0}, {1, 1}}, Support: 0.4},
+				{Items: Itemset{{0, 0}, {2, 2}}, Support: 0.4},
+				{Items: Itemset{{1, 1}, {2, 2}}, Support: 0.4},
+			},
+			{{Items: abc, Support: 0.3}},
+		},
+	}
+	rules, err := GenerateRules(res, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From abc alone: 2^3−2 = 6 rules; from each pair: 2 → 6 more.
+	if len(rules) != 12 {
+		t.Fatalf("got %d rules, want 12", len(rules))
+	}
+	for _, r := range rules {
+		if r.Confidence <= 0 || r.Confidence > 1+1e-12 {
+			t.Fatalf("confidence out of range: %v", r)
+		}
+		if len(r.Antecedent) == 0 || len(r.Consequent) == 0 {
+			t.Fatalf("empty side: %v", r)
+		}
+	}
+}
+
+func TestGenerateRulesValidation(t *testing.T) {
+	res := &Result{}
+	for _, mc := range []float64{0, -1, 1.5} {
+		if _, err := GenerateRules(res, mc); !errors.Is(err, ErrMining) {
+			t.Errorf("minConf %v accepted", mc)
+		}
+	}
+	rules, err := GenerateRules(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Fatal("rules from empty result")
+	}
+}
+
+func TestGenerateRulesSkipsMissingAntecedent(t *testing.T) {
+	// Pair frequent but one single missing (possible under reconstruction
+	// noise): the rule with that antecedent must be skipped, not crash.
+	res := &Result{
+		MinSupport: 0.1,
+		ByLength: [][]FrequentItemset{
+			{{Items: Itemset{{0, 0}}, Support: 0.5}},
+			{{Items: Itemset{{0, 0}, {1, 1}}, Support: 0.4}},
+		},
+	}
+	rules, err := GenerateRules(res, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("got %d rules, want 1 (only a⇒b computable)", len(rules))
+	}
+	if rules[0].Antecedent.Key() != "0=0" {
+		t.Fatalf("unexpected rule %v", rules[0])
+	}
+}
+
+func TestGenerateRulesSkipsInconsistentConfidence(t *testing.T) {
+	// Reconstruction noise can make a superset look more frequent than
+	// its subset; the implied confidence > 1 must be suppressed.
+	res := &Result{
+		MinSupport: 0.1,
+		ByLength: [][]FrequentItemset{
+			{
+				{Items: Itemset{{0, 0}}, Support: 0.2}, // noisy: below the pair
+				{Items: Itemset{{1, 1}}, Support: 0.6},
+			},
+			{{Items: Itemset{{0, 0}, {1, 1}}, Support: 0.4}},
+		},
+	}
+	rules, err := GenerateRules(res, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Confidence > 1 {
+			t.Fatalf("rule with confidence > 1 escaped: %v", r)
+		}
+	}
+	if len(rules) != 1 || rules[0].Antecedent.Key() != "1=1" {
+		t.Fatalf("rules = %v, want only the consistent direction", rules)
+	}
+}
+
+func TestRuleLift(t *testing.T) {
+	// sup(a)=0.5, sup(b)=0.4, sup(ab)=0.35:
+	// a⇒b: conf 0.7, lift 0.7/0.4 = 1.75; b⇒a: conf 0.875, lift 1.75.
+	a, _ := NewItemset(Item{0, 0})
+	b, _ := NewItemset(Item{1, 1})
+	ab, _ := NewItemset(Item{0, 0}, Item{1, 1})
+	res := &Result{
+		MinSupport: 0.1,
+		ByLength: [][]FrequentItemset{
+			{{Items: a, Support: 0.5}, {Items: b, Support: 0.4}},
+			{{Items: ab, Support: 0.35}},
+		},
+	}
+	rules, err := GenerateRules(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if math.Abs(r.Lift-1.75) > 1e-12 {
+			t.Fatalf("rule %v lift %v, want 1.75", r, r.Lift)
+		}
+	}
+}
+
+func TestRuleLiftZeroWhenConsequentUnknown(t *testing.T) {
+	// The consequent {b} is not in the frequent set (reconstruction
+	// noise); lift cannot be computed and must be zero.
+	res := &Result{
+		MinSupport: 0.1,
+		ByLength: [][]FrequentItemset{
+			{{Items: Itemset{{0, 0}}, Support: 0.5}},
+			{{Items: Itemset{{0, 0}, {1, 1}}, Support: 0.4}},
+		},
+	}
+	rules, err := GenerateRules(res, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Lift != 0 {
+		t.Fatalf("rules = %v", rules)
+	}
+}

@@ -1,0 +1,197 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+)
+
+func querySchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	s, err := dataset.NewSchema("query-test", []dataset.Attribute{
+		{Name: "a", Categories: []string{"a0", "a1", "a2"}},
+		{Name: "b", Categories: []string{"b0", "b1"}},
+		{Name: "c", Categories: []string{"c0", "c1", "c2", "c3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func buildQueryData(t *testing.T, n int, seed int64) (*dataset.Database, *dataset.Database, core.UniformMatrix) {
+	t.Helper()
+	s := querySchema(t)
+	db := dataset.NewDatabase(s, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		rec := dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}
+		if rng.Float64() < 0.35 {
+			rec = dataset.Record{0, 1, 2}
+		}
+		if err := db.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := core.NewGammaDiagonal(s.DomainSize(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdb, err := core.PerturbDatabase(db, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, pdb, m
+}
+
+func trueCount(db *dataset.Database, f mining.Itemset) float64 {
+	var c float64
+	for _, rec := range db.Records {
+		if f.Supports(rec) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCountEstimateAccuracy(t *testing.T) {
+	db, pdb, m := buildQueryData(t, 80000, 1)
+	eng, err := NewEngine(pdb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []mining.Itemset{
+		{{Attr: 0, Value: 0}},
+		{{Attr: 0, Value: 0}, {Attr: 1, Value: 1}},
+		{{Attr: 0, Value: 0}, {Attr: 1, Value: 1}, {Attr: 2, Value: 2}},
+	}
+	ests, err := eng.CountAll(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range filters {
+		truth := trueCount(db, f)
+		// The estimate should be within 5 standard errors of the truth.
+		if math.Abs(ests[i].Count-truth) > 5*ests[i].StdErr {
+			t.Fatalf("filter %s: estimate %v ± %v vs truth %v",
+				f.Key(), ests[i].Count, ests[i].StdErr, truth)
+		}
+		if ests[i].Lo > ests[i].Count || ests[i].Hi < ests[i].Count {
+			t.Fatalf("CI does not bracket the point estimate: %+v", ests[i])
+		}
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// Over repeated independent perturbations, the 95% CI must contain
+	// the truth roughly 95% of the time (binomial tolerance).
+	s := querySchema(t)
+	db := dataset.NewDatabase(s, 0)
+	rng := rand.New(rand.NewSource(9))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		rec := dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}
+		if rng.Float64() < 0.3 {
+			rec = dataset.Record{1, 0, 3}
+		}
+		if err := db.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := core.NewGammaDiagonal(s.DomainSize(), 19)
+	p, _ := core.NewGammaPerturber(s, m)
+	filter := mining.Itemset{{Attr: 0, Value: 1}, {Attr: 2, Value: 3}}
+	truth := trueCount(db, filter)
+
+	const trials = 120
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		pdb, err := core.PerturbDatabase(db, p, rand.New(rand.NewSource(int64(1000+trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(pdb, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := eng.Count(filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth >= est.Lo && truth <= est.Hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	// 95% nominal; binomial std over 120 trials ≈ 2%; allow wide band.
+	if rate < 0.86 || rate > 1.0 {
+		t.Fatalf("CI coverage %.1f%% (%d/%d), want ≈95%%", rate*100, covered, trials)
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	e := Estimate{Count: -50, StdErr: 10, Lo: -70, Hi: -30, N: 1000}
+	if e.Clamped() != 0 {
+		t.Fatalf("Clamped = %v", e.Clamped())
+	}
+	e.Count = 2000
+	if e.Clamped() != 1000 {
+		t.Fatalf("Clamped = %v", e.Clamped())
+	}
+	e.Count = 500
+	p, lo, hi := e.Proportion()
+	if p != 0.5 || lo != -0.07 || hi != -0.03 {
+		t.Fatalf("Proportion = %v [%v, %v]", p, lo, hi)
+	}
+	empty := Estimate{}
+	if p, _, _ := empty.Proportion(); p != 0 {
+		t.Fatal("empty proportion should be 0")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	_, pdb, m := buildQueryData(t, 100, 2)
+	if _, err := NewEngine(nil, m); !errors.Is(err, ErrQuery) {
+		t.Fatal("nil database accepted")
+	}
+	wrong, _ := core.NewGammaDiagonal(5, 19)
+	if _, err := NewEngine(pdb, wrong); !errors.Is(err, ErrQuery) {
+		t.Fatal("order mismatch accepted")
+	}
+	eng, err := NewEngine(pdb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := mining.Itemset{{Attr: 9, Value: 0}}
+	if _, err := eng.Count(bad); err == nil {
+		t.Fatal("invalid filter accepted")
+	}
+	if _, err := eng.CountAll([]mining.Itemset{bad}); err == nil {
+		t.Fatal("invalid filter accepted in batch")
+	}
+	// Empty filter matches everything exactly.
+	est, err := eng.Count(mining.Itemset{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Count != 100 || est.StdErr != 0 {
+		t.Fatalf("empty filter estimate %+v", est)
+	}
+	empty := dataset.NewDatabase(pdb.Schema, 0)
+	engEmpty, err := NewEngine(empty, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engEmpty.Count(mining.Itemset{{Attr: 0, Value: 0}}); !errors.Is(err, ErrQuery) {
+		t.Fatal("empty database query accepted")
+	}
+}

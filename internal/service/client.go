@@ -1,0 +1,205 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Client is the user-side library: it fetches the published schema and
+// privacy contract, rebuilds the gamma-diagonal matrix locally, and
+// perturbs every record on the client before anything is transmitted —
+// the FRAPP trust model in which users "trust no one except themselves".
+type Client struct {
+	base      string
+	http      *http.Client
+	schema    *dataset.Schema
+	perturber core.Perturber
+	gamma     float64
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	httpClient    *http.Client
+	randomization float64
+}
+
+// WithHTTPClient substitutes the transport (tests use the httptest
+// server's client).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *clientConfig) { c.httpClient = h }
+}
+
+// WithClientRandomization enables RAN-GD perturbation with amplitude
+// fraction·γx, giving the client privacy beyond the published contract.
+func WithClientRandomization(fraction float64) ClientOption {
+	return func(c *clientConfig) { c.randomization = fraction }
+}
+
+// NewClient contacts the server, verifies the contract, and prepares the
+// local perturber.
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	cfg := clientConfig{httpClient: http.DefaultClient}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.randomization < 0 || cfg.randomization > 1 {
+		return nil, fmt.Errorf("%w: randomization fraction %v", ErrService, cfg.randomization)
+	}
+	resp, err := cfg.httpClient.Get(baseURL + "/v1/schema")
+	if err != nil {
+		return nil, fmt.Errorf("service: fetching schema: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: schema fetch returned %s", ErrService, resp.Status)
+	}
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("%w: bad schema response: %v", ErrService, err)
+	}
+	attrs := make([]dataset.Attribute, len(sr.Attributes))
+	for i, a := range sr.Attributes {
+		attrs[i] = dataset.Attribute{Name: a.Name, Categories: a.Categories}
+	}
+	schema, err := dataset.NewSchema(sr.Name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the matrix locally from the contract — the client does not
+	// take the server's word for the perturbation parameters.
+	spec := core.PrivacySpec{Rho1: sr.Privacy.Rho1, Rho2: sr.Privacy.Rho2}
+	gamma, err := spec.Gamma()
+	if err != nil {
+		return nil, err
+	}
+	matrix, err := core.NewGammaDiagonal(schema.DomainSize(), gamma)
+	if err != nil {
+		return nil, err
+	}
+	var perturber core.Perturber
+	if cfg.randomization > 0 {
+		perturber, err = core.NewRandomizedGammaPerturber(schema, matrix, cfg.randomization*matrix.Diag)
+	} else {
+		perturber, err = core.NewGammaPerturber(schema, matrix)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		base:      baseURL,
+		http:      cfg.httpClient,
+		schema:    schema,
+		perturber: perturber,
+		gamma:     gamma,
+	}, nil
+}
+
+// Schema returns the schema fetched from the server.
+func (c *Client) Schema() *dataset.Schema { return c.schema }
+
+// Gamma returns the amplification bound of the published contract.
+func (c *Client) Gamma() float64 { return c.gamma }
+
+// Submit perturbs rec locally and sends only the distorted record.
+func (c *Client) Submit(rec dataset.Record, rng *rand.Rand) error {
+	perturbed, err := c.perturber.Perturb(rec, rng)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(c.encodeRecord(perturbed))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("%w: submit returned %s", ErrService, resp.Status)
+	}
+	return nil
+}
+
+// SubmitBatch perturbs and submits many records in one request.
+func (c *Client) SubmitBatch(recs []dataset.Record, rng *rand.Rand) error {
+	batch := make([]RecordJSON, 0, len(recs))
+	for _, rec := range recs {
+		perturbed, err := c.perturber.Perturb(rec, rng)
+		if err != nil {
+			return err
+		}
+		batch = append(batch, c.encodeRecord(perturbed))
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/v1/submit-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("%w: batch submit returned %s", ErrService, resp.Status)
+	}
+	return nil
+}
+
+// Mine queries the server's reconstructed mining model.
+func (c *Client) Mine(minsup, minconf float64, limit int) (*MineResponse, error) {
+	url := fmt.Sprintf("%s/v1/mine?minsup=%g&minconf=%g&limit=%d", c.base, minsup, minconf, limit)
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: mine returned %s", ErrService, resp.Status)
+	}
+	var mr MineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, fmt.Errorf("%w: bad mine response: %v", ErrService, err)
+	}
+	return &mr, nil
+}
+
+// Stats queries the collection state.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: stats returned %s", ErrService, resp.Status)
+	}
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("%w: bad stats response: %v", ErrService, err)
+	}
+	return &sr, nil
+}
+
+func (c *Client) encodeRecord(rec dataset.Record) RecordJSON {
+	out := make(RecordJSON, len(rec))
+	for j, v := range rec {
+		a := c.schema.Attrs[j]
+		out[a.Name] = a.Categories[v]
+	}
+	return out
+}
+
+func drain(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	_ = body.Close()
+}

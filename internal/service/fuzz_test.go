@@ -1,0 +1,57 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// FuzzSubmit throws arbitrary bytes at the submission endpoint: the
+// server must never panic, must answer 202 only for well-formed records,
+// and its record count must change only on acceptance.
+func FuzzSubmit(f *testing.F) {
+	srv, err := NewServer(fuzzSchema(), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Add([]byte(`{"a":"a0","b":"b1","c":"c2"}`))
+	f.Add([]byte(`{"a":"a0"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"a":1,"b":2,"c":3}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := srv.N()
+		req := httptest.NewRequest(http.MethodPost, "/v1/submit", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		after := srv.N()
+		switch rec.Code {
+		case http.StatusAccepted:
+			if after != before+1 {
+				t.Fatalf("202 but count %d -> %d", before, after)
+			}
+		case http.StatusBadRequest:
+			if after != before {
+				t.Fatalf("400 but count changed %d -> %d", before, after)
+			}
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+	})
+}
+
+// fuzzSchema mirrors serviceSchema without needing a *testing.T.
+func fuzzSchema() *dataset.Schema {
+	return dataset.MustSchema("svc", []dataset.Attribute{
+		{Name: "a", Categories: []string{"a0", "a1", "a2"}},
+		{Name: "b", Categories: []string{"b0", "b1"}},
+		{Name: "c", Categories: []string{"c0", "c1", "c2", "c3"}},
+	})
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+)
+
+// SaveState serializes the server's accumulated (perturbed) counts.
+// Note what is — and is not — persisted: only the materialized marginal
+// histograms of perturbed submissions. No raw records ever existed on
+// the server, so none can leak from a state file.
+func (s *Server) SaveState(w io.Writer) error {
+	return s.counter.Save(w)
+}
+
+// LoadState replaces the server's counter with a previously saved state.
+// The state must have been saved for the same schema and privacy
+// contract.
+func (s *Server) LoadState(r io.Reader) error {
+	counter, err := mining.LoadMaterializedGammaCounter(r, s.schema, s.matrix)
+	if err != nil {
+		return err
+	}
+	s.counter = counter
+	return nil
+}
+
+// PersistStateFile writes the state atomically (temp file + rename) so a
+// crash mid-write can never corrupt the previous state.
+func (s *Server) PersistStateFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".frapp-state-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := s.SaveState(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// NewServerWithState builds a server, restoring state from path when the
+// file exists. A missing file is not an error — the server starts empty.
+func NewServerWithState(schema *dataset.Schema, spec core.PrivacySpec, path string) (*Server, error) {
+	srv, err := NewServer(schema, spec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return srv, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := srv.LoadState(f); err != nil {
+		return nil, fmt.Errorf("restoring state from %s: %w", path, err)
+	}
+	return srv, nil
+}

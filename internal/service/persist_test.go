@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestServerStateRoundTrip(t *testing.T) {
+	srv, ts := startServer(t)
+	client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	var recs []dataset.Record
+	for i := 0; i < 400; i++ {
+		recs = append(recs, dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)})
+	}
+	if err := client.SubmitBatch(recs, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := srv.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server restores the state and mines identically.
+	restored, err := NewServer(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != srv.N() {
+		t.Fatalf("restored N = %d, want %d", restored.N(), srv.N())
+	}
+	rts := httptest.NewServer(restored.Handler())
+	defer rts.Close()
+	rclient, err := NewClient(rts.URL, WithHTTPClient(rts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := client.Mine(0.1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rclient.Mine(0.1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Itemsets) != len(b.Itemsets) {
+		t.Fatalf("mined %d vs restored %d itemsets", len(a.Itemsets), len(b.Itemsets))
+	}
+}
+
+func TestPersistStateFileAndRestore(t *testing.T) {
+	srv, ts := startServer(t)
+	client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	if err := client.Submit(dataset.Record{0, 0, 0}, rng); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := srv.PersistStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewServerWithState(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != 1 {
+		t.Fatalf("restored N = %d", restored.N())
+	}
+	// No leftover temp files.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("state dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestNewServerWithStateMissingFileStartsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.gob")
+	srv, err := NewServerWithState(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.N() != 0 {
+		t.Fatalf("N = %d", srv.N())
+	}
+}
+
+func TestNewServerWithStateRejectsWrongSchema(t *testing.T) {
+	// Save under the census schema, restore under the small one.
+	censusSrv, err := NewServer(dataset.CensusSchema(), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := censusSrv.PersistStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServerWithState(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50}, path); err == nil {
+		t.Fatal("cross-schema state accepted")
+	}
+}

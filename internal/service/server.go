@@ -1,0 +1,321 @@
+// Package service provides a miner-side collection server and a
+// client-side submission library for FRAPP deployments, realizing the
+// paper's trust model over HTTP: each client perturbs its own record
+// locally (the server publishes the schema and the privacy parameters)
+// and submits only the distorted record; the server accumulates
+// submissions and answers mining queries with reconstructed supports.
+//
+// Wire format: records travel as JSON objects mapping attribute names to
+// category names, so submissions are human-readable and schema-checked.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+)
+
+// ErrService is returned for invalid service configuration or requests.
+var ErrService = errors.New("service: invalid input")
+
+// Server is the miner-side endpoint. It never sees unperturbed data: it
+// ingests whatever (already-perturbed) records clients submit into an
+// incrementally materialized counter and answers mining queries through
+// the published matrix without ever rescanning submissions.
+type Server struct {
+	schema  *dataset.Schema
+	spec    core.PrivacySpec
+	gamma   float64
+	matrix  core.UniformMatrix
+	counter *mining.MaterializedGammaCounter
+}
+
+// NewServer configures a server for one schema and privacy contract.
+func NewServer(schema *dataset.Schema, spec core.PrivacySpec) (*Server, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("%w: nil schema", ErrService)
+	}
+	gamma, err := spec.Gamma()
+	if err != nil {
+		return nil, err
+	}
+	matrix, err := core.NewGammaDiagonal(schema.DomainSize(), gamma)
+	if err != nil {
+		return nil, err
+	}
+	counter, err := mining.NewMaterializedGammaCounter(schema, matrix)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{schema: schema, spec: spec, gamma: gamma, matrix: matrix, counter: counter}, nil
+}
+
+// N returns the number of submissions received so far.
+func (s *Server) N() int { return s.counter.N() }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("POST /v1/submit-batch", s.handleSubmitBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/mine", s.handleMine)
+	return mux
+}
+
+// SchemaResponse is the published contract clients need to perturb
+// locally: the full schema plus the privacy parameters that determine
+// the perturbation matrix.
+type SchemaResponse struct {
+	Name       string          `json:"name"`
+	Attributes []AttributeJSON `json:"attributes"`
+	Privacy    PrivacyJSON     `json:"privacy"`
+}
+
+// AttributeJSON is one attribute of the published schema.
+type AttributeJSON struct {
+	Name       string   `json:"name"`
+	Categories []string `json:"categories"`
+}
+
+// PrivacyJSON carries the privacy contract.
+type PrivacyJSON struct {
+	Rho1  float64 `json:"rho1"`
+	Rho2  float64 `json:"rho2"`
+	Gamma float64 `json:"gamma"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	resp := SchemaResponse{
+		Name:    s.schema.Name,
+		Privacy: PrivacyJSON{Rho1: s.spec.Rho1, Rho2: s.spec.Rho2, Gamma: s.gamma},
+	}
+	for _, a := range s.schema.Attrs {
+		resp.Attributes = append(resp.Attributes, AttributeJSON{Name: a.Name, Categories: a.Categories})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RecordJSON is the wire form of one record: attribute name → category.
+type RecordJSON map[string]string
+
+// decodeRecord validates and converts a wire record.
+func (s *Server) decodeRecord(rj RecordJSON) (dataset.Record, error) {
+	if len(rj) != s.schema.M() {
+		return nil, fmt.Errorf("%w: record has %d attributes, schema has %d", ErrService, len(rj), s.schema.M())
+	}
+	rec := make(dataset.Record, s.schema.M())
+	for j, a := range s.schema.Attrs {
+		cat, ok := rj[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing attribute %q", ErrService, a.Name)
+		}
+		v := a.CategoryIndex(cat)
+		if v < 0 {
+			return nil, fmt.Errorf("%w: unknown category %q for attribute %q", ErrService, cat, a.Name)
+		}
+		rec[j] = v
+	}
+	return rec, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var rj RecordJSON
+	if err := json.NewDecoder(r.Body).Decode(&rj); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+		return
+	}
+	rec, err := s.decodeRecord(rj)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.counter.Add(rec); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.counter.N()})
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var batch []RecordJSON
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+		return
+	}
+	recs := make([]dataset.Record, 0, len(batch))
+	for i, rj := range batch {
+		rec, err := s.decodeRecord(rj)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: %w", i, err))
+			return
+		}
+		recs = append(recs, rec)
+	}
+	for _, rec := range recs {
+		if err := s.counter.Add(rec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.counter.N()})
+}
+
+// StatsResponse summarizes the collection state.
+type StatsResponse struct {
+	Records         int     `json:"records"`
+	Gamma           float64 `json:"gamma"`
+	ConditionNumber float64 `json:"condition_number"`
+	DomainSize      int     `json:"domain_size"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Records:         s.N(),
+		Gamma:           s.gamma,
+		ConditionNumber: s.matrix.Cond(),
+		DomainSize:      s.schema.DomainSize(),
+	})
+}
+
+// MineResponse is the reconstructed mining model.
+type MineResponse struct {
+	Records    int           `json:"records"`
+	MinSupport float64       `json:"min_support"`
+	Counts     []int         `json:"counts_by_length"`
+	Itemsets   []ItemsetJSON `json:"itemsets"`
+	Rules      []RuleJSON    `json:"rules,omitempty"`
+}
+
+// ItemsetJSON is one frequent itemset on the wire.
+type ItemsetJSON struct {
+	Items   map[string]string `json:"items"`
+	Support float64           `json:"support"`
+}
+
+// RuleJSON is one association rule on the wire.
+type RuleJSON struct {
+	Antecedent map[string]string `json:"antecedent"`
+	Consequent map[string]string `json:"consequent"`
+	Support    float64           `json:"support"`
+	Confidence float64           `json:"confidence"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	minsup, err := queryFloat(r, "minsup", 0.02)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	minconf, err := queryFloat(r, "minconf", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := queryInt(r, "limit", 100)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Mine a frozen snapshot so every Apriori pass sees one consistent
+	// record count even while submissions keep arriving.
+	snapshot := s.counter.Snapshot()
+	n := snapshot.N()
+	if n == 0 {
+		httpError(w, http.StatusConflict, fmt.Errorf("%w: no submissions yet", ErrService))
+		return
+	}
+	res, err := mining.Apriori(snapshot, minsup)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := MineResponse{
+		Records:    n,
+		MinSupport: minsup,
+		Counts:     res.Counts(),
+	}
+	emitted := 0
+	for _, level := range res.ByLength {
+		for _, fi := range level {
+			if emitted >= limit {
+				break
+			}
+			resp.Itemsets = append(resp.Itemsets, ItemsetJSON{
+				Items:   s.itemsToJSON(fi.Items),
+				Support: fi.Support,
+			})
+			emitted++
+		}
+	}
+	if minconf > 0 {
+		rules, err := mining.GenerateRules(res, minconf)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		for i, rule := range rules {
+			if i >= limit {
+				break
+			}
+			resp.Rules = append(resp.Rules, RuleJSON{
+				Antecedent: s.itemsToJSON(rule.Antecedent),
+				Consequent: s.itemsToJSON(rule.Consequent),
+				Support:    rule.Support,
+				Confidence: rule.Confidence,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) itemsToJSON(set mining.Itemset) map[string]string {
+	out := make(map[string]string, len(set))
+	for _, it := range set {
+		a := s.schema.Attrs[it.Attr]
+		out[a.Name] = a.Categories[it.Value]
+	}
+	return out
+}
+
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad %s=%q", ErrService, key, raw)
+	}
+	return v, nil
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%w: bad %s=%q", ErrService, key, raw)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

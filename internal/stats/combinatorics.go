@@ -1,0 +1,97 @@
+// Package stats provides the probability substrate for FRAPP: exact
+// combinatorics, the discrete distributions used by the perturbation
+// operators (binomial, hypergeometric), efficient discrete samplers
+// (linear CDF walk and Walker alias method), and the Poisson-Binomial
+// distribution that governs perturbed-count variance in the paper's
+// reconstruction analysis (Section 2.3).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// logFactCache memoizes ln(k!) for small k; larger arguments fall back to
+// Stirling via math.Lgamma, which is exact enough for all our uses.
+var logFactCache = func() []float64 {
+	c := make([]float64, 257)
+	for k := 2; k < len(c); k++ {
+		c[k] = c[k-1] + math.Log(float64(k))
+	}
+	return c
+}()
+
+// LogFactorial returns ln(n!). It panics for negative n.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("stats: LogFactorial(%d)", n))
+	}
+	if n < len(logFactCache) {
+		return logFactCache[n]
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+// LogChoose returns ln C(n, k), or -Inf when the coefficient is zero
+// (k < 0 or k > n).
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Choose returns the binomial coefficient C(n, k) as a float64. For k < 0
+// or k > n it returns 0. Values are exact for small arguments and accurate
+// to double precision for large ones.
+func Choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	if k == 0 {
+		return 1
+	}
+	// Multiplicative form keeps intermediate values small and exact for
+	// the modest n seen in perturbation-matrix entries.
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p).
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lp)
+}
+
+// HypergeomPMF returns P(X = k) for X ~ Hypergeometric(N, K, n): the number
+// of marked items in a uniform draw of n items from a population of N
+// containing K marked items.
+func HypergeomPMF(N, K, n, k int) float64 {
+	if k < 0 || k > K || k > n || n-k > N-K {
+		return 0
+	}
+	lp := LogChoose(K, k) + LogChoose(N-K, n-k) - LogChoose(N, n)
+	return math.Exp(lp)
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); got != c.want {
+			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChooseSymmetryProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn := int(n % 40)
+		kk := int(k % 40)
+		return Choose(nn, kk) == Choose(nn, nn-kk) || kk > nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoosePascalProperty(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		for k := 1; k < n; k++ {
+			lhs := Choose(n, k)
+			rhs := Choose(n-1, k-1) + Choose(n-1, k)
+			if !approx(lhs, rhs, 1e-12) {
+				t.Fatalf("Pascal violated at (%d,%d): %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestLogChooseMatchesChoose(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			if !approx(math.Exp(LogChoose(n, k)), Choose(n, k), 1e-10) {
+				t.Fatalf("LogChoose(%d,%d) inconsistent", n, k)
+			}
+		}
+	}
+	if !math.IsInf(LogChoose(3, 5), -1) {
+		t.Fatal("LogChoose out of range should be -Inf")
+	}
+}
+
+func TestLogFactorialLargeMatchesLgamma(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 256, 257, 1000, 50000} {
+		lg, _ := math.Lgamma(float64(n) + 1)
+		if !approx(LogFactorial(n), lg, 1e-12) {
+			t.Fatalf("LogFactorial(%d) = %v, want %v", n, LogFactorial(n), lg)
+		}
+	}
+}
+
+func TestLogFactorialPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 20} {
+		for _, p := range []float64{0, 0.2, 0.5, 0.99, 1} {
+			var sum float64
+			for k := 0; k <= n; k++ {
+				sum += BinomialPMF(n, p, k)
+			}
+			if !approx(sum, 1, 1e-12) {
+				t.Fatalf("Binomial(%d,%v) PMF sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFKnown(t *testing.T) {
+	if got := BinomialPMF(4, 0.5, 2); !approx(got, 0.375, 1e-12) {
+		t.Fatalf("Binomial(4,0.5,2) = %v, want 0.375", got)
+	}
+	if BinomialPMF(4, 0.5, -1) != 0 || BinomialPMF(4, 0.5, 5) != 0 {
+		t.Fatal("out-of-range k must be 0")
+	}
+	if BinomialPMF(3, 0, 0) != 1 || BinomialPMF(3, 1, 3) != 1 {
+		t.Fatal("degenerate p handling wrong")
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	cases := []struct{ N, K, n int }{
+		{10, 4, 3}, {20, 20, 5}, {20, 0, 5}, {7, 3, 7},
+	}
+	for _, c := range cases {
+		var sum float64
+		for k := 0; k <= c.n; k++ {
+			sum += HypergeomPMF(c.N, c.K, c.n, k)
+		}
+		if !approx(sum, 1, 1e-12) {
+			t.Fatalf("Hypergeom(%+v) sums to %v", c, sum)
+		}
+	}
+}
+
+func TestHypergeomPMFKnown(t *testing.T) {
+	// Drawing 2 from {3 marked, 2 unmarked}: P(both marked) = C(3,2)/C(5,2) = 0.3.
+	if got := HypergeomPMF(5, 3, 2, 2); !approx(got, 0.3, 1e-12) {
+		t.Fatalf("Hypergeom(5,3,2,2) = %v, want 0.3", got)
+	}
+	if HypergeomPMF(5, 3, 2, 3) != 0 {
+		t.Fatal("impossible outcome must have probability 0")
+	}
+}

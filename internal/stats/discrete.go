@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrInvalidDistribution is returned when weights are negative, NaN, or
+// sum to zero.
+var ErrInvalidDistribution = errors.New("stats: invalid discrete distribution")
+
+// Sampler draws indices from a fixed discrete distribution.
+type Sampler interface {
+	// Sample draws one index in [0, n) using rng.
+	Sample(rng *rand.Rand) int
+	// N returns the support size.
+	N() int
+}
+
+// validateWeights checks weights and returns their sum.
+func validateWeights(w []float64) (float64, error) {
+	if len(w) == 0 {
+		return 0, fmt.Errorf("%w: empty support", ErrInvalidDistribution)
+	}
+	var sum float64
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0, fmt.Errorf("%w: weight[%d] = %v", ErrInvalidDistribution, i, v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return 0, fmt.Errorf("%w: weights sum to %v", ErrInvalidDistribution, sum)
+	}
+	return sum, nil
+}
+
+// CDFSampler samples by inverting the cumulative distribution with a
+// linear scan: the "straightforward algorithm" of Section 5 of the paper,
+// with per-draw cost proportional to the support size. It is retained both
+// as the correctness oracle for fancier samplers and to reproduce the
+// paper's complexity comparison.
+type CDFSampler struct {
+	cdf []float64
+}
+
+// NewCDFSampler builds a sampler over weights (not necessarily
+// normalized).
+func NewCDFSampler(weights []float64) (*CDFSampler, error) {
+	sum, err := validateWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	cdf := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / sum
+		cdf[i] = acc
+	}
+	cdf[len(cdf)-1] = 1 // guard against rounding drift
+	return &CDFSampler{cdf: cdf}, nil
+}
+
+// Sample draws one index by linear CDF walk.
+func (s *CDFSampler) Sample(rng *rand.Rand) int {
+	r := rng.Float64()
+	for i, c := range s.cdf {
+		if r <= c {
+			return i
+		}
+	}
+	return len(s.cdf) - 1
+}
+
+// N returns the support size.
+func (s *CDFSampler) N() int { return len(s.cdf) }
+
+// AliasSampler implements Walker's alias method: O(n) preprocessing and
+// O(1) per draw, the production sampler for large supports.
+type AliasSampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAliasSampler builds an alias table over weights (not necessarily
+// normalized).
+func NewAliasSampler(weights []float64) (*AliasSampler, error) {
+	sum, err := validateWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(weights)
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1
+		alias[i] = i
+	}
+	return &AliasSampler{prob: prob, alias: alias}, nil
+}
+
+// Sample draws one index in O(1).
+func (s *AliasSampler) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(s.prob))
+	if rng.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}
+
+// N returns the support size.
+func (s *AliasSampler) N() int { return len(s.prob) }
+
+// SampleBinomial draws from Binomial(n, p) by explicit Bernoulli summation.
+// The n values in FRAPP's operators are tiny (≤ number of attributes), so
+// this is both simple and fast enough.
+func SampleBinomial(rng *rand.Rand, n int, p float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// SampleHypergeom draws from Hypergeometric(N, K, n) by sequential
+// sampling without replacement.
+func SampleHypergeom(rng *rand.Rand, N, K, n int) int {
+	k := 0
+	remaining, marked := N, K
+	for i := 0; i < n; i++ {
+		if remaining <= 0 {
+			break
+		}
+		if rng.Float64() < float64(marked)/float64(remaining) {
+			k++
+			marked--
+		}
+		remaining--
+	}
+	return k
+}

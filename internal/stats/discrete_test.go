@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSamplerValidation(t *testing.T) {
+	for _, w := range [][]float64{
+		nil,
+		{},
+		{-1, 2},
+		{0, 0},
+		{math.NaN(), 1},
+		{math.Inf(1), 1},
+	} {
+		if _, err := NewCDFSampler(w); !errors.Is(err, ErrInvalidDistribution) {
+			t.Errorf("CDF weights %v: want ErrInvalidDistribution, got %v", w, err)
+		}
+		if _, err := NewAliasSampler(w); !errors.Is(err, ErrInvalidDistribution) {
+			t.Errorf("alias weights %v: want ErrInvalidDistribution, got %v", w, err)
+		}
+	}
+}
+
+// chiSquare computes the chi-square statistic of observed counts against
+// expected probabilities.
+func chiSquare(counts []int, probs []float64, total int) float64 {
+	var x2 float64
+	for i, c := range counts {
+		e := probs[i] * float64(total)
+		if e == 0 {
+			if c != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		d := float64(c) - e
+		x2 += d * d / e
+	}
+	return x2
+}
+
+func testSamplerDistribution(t *testing.T, name string, mk func([]float64) (Sampler, error)) {
+	t.Helper()
+	weights := []float64{5, 1, 3, 0, 11, 2}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	probs := make([]float64, len(weights))
+	for i, w := range weights {
+		probs[i] = w / sum
+	}
+	s, err := mk(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != len(weights) {
+		t.Fatalf("%s: N() = %d, want %d", name, s.N(), len(weights))
+	}
+	rng := rand.New(rand.NewSource(123))
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		k := s.Sample(rng)
+		if k < 0 || k >= len(weights) {
+			t.Fatalf("%s: sample %d out of range", name, k)
+		}
+		counts[k]++
+	}
+	if counts[3] != 0 {
+		t.Fatalf("%s: zero-weight outcome sampled %d times", name, counts[3])
+	}
+	// 4 effective degrees of freedom; χ² 99.9th percentile ≈ 18.5.
+	if x2 := chiSquare(counts, probs, n); x2 > 25 {
+		t.Fatalf("%s: chi-square %v too large; counts %v", name, x2, counts)
+	}
+}
+
+func TestCDFSamplerDistribution(t *testing.T) {
+	testSamplerDistribution(t, "cdf", func(w []float64) (Sampler, error) { return NewCDFSampler(w) })
+}
+
+func TestAliasSamplerDistribution(t *testing.T) {
+	testSamplerDistribution(t, "alias", func(w []float64) (Sampler, error) { return NewAliasSampler(w) })
+}
+
+func TestAliasSamplerSingleOutcome(t *testing.T) {
+	s, err := NewAliasSampler([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if s.Sample(rng) != 0 {
+			t.Fatal("single-outcome sampler must always return 0")
+		}
+	}
+}
+
+func TestAliasSamplerUniform(t *testing.T) {
+	s, err := NewAliasSampler([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/4) > 4*math.Sqrt(n/4) {
+			t.Fatalf("uniform alias sampler biased at %d: %d", i, c)
+		}
+	}
+}
+
+func TestSampleBinomialMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, p := 12, 0.3
+	const trials = 100000
+	var sum, sumsq float64
+	for i := 0; i < trials; i++ {
+		k := SampleBinomial(rng, n, p)
+		if k < 0 || k > n {
+			t.Fatalf("binomial sample %d out of range", k)
+		}
+		sum += float64(k)
+		sumsq += float64(k) * float64(k)
+	}
+	mean := sum / trials
+	varr := sumsq/trials - mean*mean
+	if math.Abs(mean-float64(n)*p) > 0.05 {
+		t.Fatalf("binomial mean %v, want %v", mean, float64(n)*p)
+	}
+	if math.Abs(varr-float64(n)*p*(1-p)) > 0.1 {
+		t.Fatalf("binomial variance %v, want %v", varr, float64(n)*p*(1-p))
+	}
+}
+
+func TestSampleHypergeomMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	N, K, n := 50, 20, 10
+	const trials = 100000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		k := SampleHypergeom(rng, N, K, n)
+		if k < 0 || k > n || k > K {
+			t.Fatalf("hypergeom sample %d out of range", k)
+		}
+		sum += float64(k)
+	}
+	want := float64(n) * float64(K) / float64(N)
+	if mean := sum / trials; math.Abs(mean-want) > 0.05 {
+		t.Fatalf("hypergeom mean %v, want %v", mean, want)
+	}
+}
+
+func TestSampleHypergeomExhaustsPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Drawing the whole population must return exactly K.
+	for i := 0; i < 50; i++ {
+		if got := SampleHypergeom(rng, 8, 3, 8); got != 3 {
+			t.Fatalf("full draw returned %d, want 3", got)
+		}
+	}
+	if got := SampleHypergeom(rng, 4, 2, 10); got != 2 {
+		t.Fatalf("over-draw returned %d, want 2", got)
+	}
+}

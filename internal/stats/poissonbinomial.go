@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonBinomial is the distribution of the number of successes in N
+// independent but non-identical Bernoulli trials — exactly the
+// distribution of each perturbed-database count Y_v in Section 2.2 of the
+// paper (the trials' success probabilities are A[v][U_i], which vary
+// record by record).
+type PoissonBinomial struct {
+	p []float64
+}
+
+// NewPoissonBinomial validates the success probabilities and returns the
+// distribution.
+func NewPoissonBinomial(probs []float64) (*PoissonBinomial, error) {
+	for i, p := range probs {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("stats: Poisson-Binomial probability[%d] = %v out of [0,1]", i, p)
+		}
+	}
+	cp := make([]float64, len(probs))
+	copy(cp, probs)
+	return &PoissonBinomial{p: cp}, nil
+}
+
+// N returns the number of trials.
+func (d *PoissonBinomial) N() int { return len(d.p) }
+
+// Mean returns E[Y] = Σ p_i.
+func (d *PoissonBinomial) Mean() float64 {
+	var s float64
+	for _, p := range d.p {
+		s += p
+	}
+	return s
+}
+
+// Variance returns Var[Y] = Σ p_i(1−p_i).
+//
+// This is equation 25 of the paper in its standard form: with
+// p̄ = (1/N)Σp_i, Var = N·p̄ − Σp_i², and the paper's observation follows —
+// for fixed mean the variance is maximized when all p_i are equal, so
+// randomizing the perturbation matrix (which spreads the p_i) can only
+// shrink the fluctuation term.
+func (d *PoissonBinomial) Variance() float64 {
+	var s float64
+	for _, p := range d.p {
+		s += p * (1 - p)
+	}
+	return s
+}
+
+// PMF returns the full probability mass function over {0,…,N} computed by
+// the standard O(N²) dynamic program. Exact (up to float rounding) and
+// fine for the sizes used in analysis and tests.
+func (d *PoissonBinomial) PMF() []float64 {
+	pmf := make([]float64, len(d.p)+1)
+	pmf[0] = 1
+	for _, p := range d.p {
+		for k := len(pmf) - 1; k >= 1; k-- {
+			pmf[k] = pmf[k]*(1-p) + pmf[k-1]*p
+		}
+		pmf[0] *= (1 - p)
+	}
+	return pmf
+}
+
+// MaxVarianceForMean returns the largest possible Poisson-Binomial
+// variance achievable with N trials whose mean success probability is
+// pbar: N·pbar·(1−pbar), attained when all trials are identical. The
+// paper's Section 4.2 argument compares the deterministic scheme (all p_i
+// equal → maximal variance) against the randomized scheme.
+func MaxVarianceForMean(n int, pbar float64) float64 {
+	return float64(n) * pbar * (1 - pbar)
+}

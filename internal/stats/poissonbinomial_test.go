@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonBinomialValidation(t *testing.T) {
+	for _, p := range [][]float64{{-0.1}, {1.1}, {math.NaN()}} {
+		if _, err := NewPoissonBinomial(p); err == nil {
+			t.Errorf("probs %v accepted", p)
+		}
+	}
+	d, err := NewPoissonBinomial(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 0 || d.Mean() != 0 || d.Variance() != 0 {
+		t.Fatal("empty distribution should be degenerate at 0")
+	}
+}
+
+func TestPoissonBinomialReducesToBinomial(t *testing.T) {
+	n, p := 10, 0.35
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = p
+	}
+	d, err := NewPoissonBinomial(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf := d.PMF()
+	for k := 0; k <= n; k++ {
+		if !approx(pmf[k], BinomialPMF(n, p, k), 1e-12) {
+			t.Fatalf("PMF[%d] = %v, want binomial %v", k, pmf[k], BinomialPMF(n, p, k))
+		}
+	}
+	if !approx(d.Mean(), float64(n)*p, 1e-12) {
+		t.Fatalf("mean %v", d.Mean())
+	}
+	if !approx(d.Variance(), float64(n)*p*(1-p), 1e-12) {
+		t.Fatalf("variance %v", d.Variance())
+	}
+}
+
+func TestPoissonBinomialPMFMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		d, err := NewPoissonBinomial(probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmf := d.PMF()
+		var sum, mean, m2 float64
+		for k, p := range pmf {
+			sum += p
+			mean += float64(k) * p
+			m2 += float64(k) * float64(k) * p
+		}
+		if !approx(sum, 1, 1e-10) {
+			t.Fatalf("PMF sums to %v", sum)
+		}
+		if !approx(mean, d.Mean(), 1e-9) {
+			t.Fatalf("PMF mean %v vs analytic %v", mean, d.Mean())
+		}
+		if !approx(m2-mean*mean, d.Variance(), 1e-9) {
+			t.Fatalf("PMF variance %v vs analytic %v", m2-mean*mean, d.Variance())
+		}
+	}
+}
+
+// The paper's Section 4.2 claim: among all {p_i} with fixed mean, variance
+// is maximal when all p_i are equal. Property-test it.
+func TestVarianceMaximizedByUniformProbsProperty(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		probs := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			p := math.Abs(v)
+			p -= math.Floor(p) // into [0,1)
+			probs[i] = p
+			sum += p
+		}
+		d, err := NewPoissonBinomial(probs)
+		if err != nil {
+			return false
+		}
+		pbar := sum / float64(len(probs))
+		return d.Variance() <= MaxVarianceForMean(len(probs), pbar)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxVarianceForMean(t *testing.T) {
+	if got := MaxVarianceForMean(10, 0.5); got != 2.5 {
+		t.Fatalf("MaxVarianceForMean(10,0.5) = %v, want 2.5", got)
+	}
+}

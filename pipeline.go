@@ -1,0 +1,158 @@
+package frapp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mining"
+)
+
+// ErrPipeline is returned for invalid pipeline configuration or use.
+var ErrPipeline = errors.New("frapp: invalid pipeline")
+
+// Pipeline is the high-level end-to-end API: configure a schema and a
+// privacy requirement once, then perturb databases client-side and mine
+// them miner-side. It encapsulates the paper's recommended two-step
+// process — derive the deterministic gamma-diagonal matrix for the
+// requested privacy, then optionally randomize it for extra privacy at
+// marginal accuracy cost.
+type Pipeline struct {
+	schema *Schema
+	spec   PrivacySpec
+	gamma  float64
+	matrix UniformMatrix
+	// alphaFraction ∈ [0,1]: randomization amplitude as a fraction of
+	// γx. Zero means deterministic DET-GD.
+	alphaFraction float64
+}
+
+// PipelineOption configures a Pipeline.
+type PipelineOption func(*Pipeline) error
+
+// WithRandomization enables RAN-GD with amplitude α = fraction·γx.
+// fraction must lie in [0, 1].
+func WithRandomization(fraction float64) PipelineOption {
+	return func(p *Pipeline) error {
+		if fraction < 0 || fraction > 1 {
+			return fmt.Errorf("%w: randomization fraction %v not in [0,1]", ErrPipeline, fraction)
+		}
+		p.alphaFraction = fraction
+		return nil
+	}
+}
+
+// NewPipeline derives γ from the privacy spec and builds the
+// gamma-diagonal matrix over the schema's record domain.
+func NewPipeline(schema *Schema, spec PrivacySpec, opts ...PipelineOption) (*Pipeline, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("%w: nil schema", ErrPipeline)
+	}
+	gamma, err := spec.Gamma()
+	if err != nil {
+		return nil, err
+	}
+	matrix, err := core.NewGammaDiagonal(schema.DomainSize(), gamma)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{schema: schema, spec: spec, gamma: gamma, matrix: matrix}
+	for _, opt := range opts {
+		if err := opt(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Gamma returns the derived amplification bound.
+func (p *Pipeline) Gamma() float64 { return p.gamma }
+
+// Matrix returns the gamma-diagonal matrix (the expected matrix under
+// randomization).
+func (p *Pipeline) Matrix() UniformMatrix { return p.matrix }
+
+// ConditionNumber returns the reconstruction condition number
+// (γ+n−1)/(γ−1), constant across itemset lengths.
+func (p *Pipeline) ConditionNumber() float64 { return p.matrix.Cond() }
+
+// Randomized reports whether the pipeline uses RAN-GD.
+func (p *Pipeline) Randomized() bool { return p.alphaFraction > 0 }
+
+// WorstCasePosterior returns the posterior-probability exposure: for
+// DET-GD, the fixed ρ2; for RAN-GD, the determinable range [ρ2−, ρ2+]
+// (lo is what the miner can actually assert; see Section 4.1).
+func (p *Pipeline) WorstCasePosterior() (lo, hi float64, err error) {
+	if !p.Randomized() {
+		v, err := core.PosteriorFromGamma(p.gamma, p.spec.Rho1)
+		if err != nil {
+			return 0, 0, err
+		}
+		return v, v, nil
+	}
+	alpha := p.alphaFraction * p.matrix.Diag
+	return core.PosteriorRange(p.gamma, p.matrix.N, p.spec.Rho1, alpha)
+}
+
+// Perturber returns the client-side perturbation engine.
+func (p *Pipeline) Perturber() (Perturber, error) {
+	if p.Randomized() {
+		return core.NewRandomizedGammaPerturber(p.schema, p.matrix, p.alphaFraction*p.matrix.Diag)
+	}
+	return core.NewGammaPerturber(p.schema, p.matrix)
+}
+
+// Perturb perturbs every record of db, as the paper's clients do before
+// submission.
+func (p *Pipeline) Perturb(db *Database, rng *rand.Rand) (*Database, error) {
+	if db == nil || db.Schema != p.schema {
+		return nil, fmt.Errorf("%w: database schema does not match pipeline schema", ErrPipeline)
+	}
+	pert, err := p.Perturber()
+	if err != nil {
+		return nil, err
+	}
+	return core.PerturbDatabase(db, pert, rng)
+}
+
+// PerturbParallel perturbs every record using a worker pool — client
+// perturbation is embarrassingly parallel. The output is deterministic
+// in (db, pipeline parameters, seed, workers); workers ≤ 0 uses
+// GOMAXPROCS.
+func (p *Pipeline) PerturbParallel(db *Database, seed int64, workers int) (*Database, error) {
+	if db == nil || db.Schema != p.schema {
+		return nil, fmt.Errorf("%w: database schema does not match pipeline schema", ErrPipeline)
+	}
+	pert, err := p.Perturber()
+	if err != nil {
+		return nil, err
+	}
+	return core.PerturbDatabaseParallel(db, pert, seed, workers)
+}
+
+// Mine runs Apriori over a perturbed database with per-pass support
+// reconstruction using the expected gamma-diagonal matrix.
+func (p *Pipeline) Mine(perturbed *Database, minSupport float64) (*MiningResult, error) {
+	if perturbed == nil || perturbed.Schema != p.schema {
+		return nil, fmt.Errorf("%w: database schema does not match pipeline schema", ErrPipeline)
+	}
+	counter, err := mining.NewGammaCounter(perturbed, p.matrix)
+	if err != nil {
+		return nil, err
+	}
+	return mining.Apriori(counter, minSupport)
+}
+
+// ReconstructHistogram estimates the original record-count distribution
+// from a perturbed database.
+func (p *Pipeline) ReconstructHistogram(perturbed *Database) ([]float64, error) {
+	if perturbed == nil || perturbed.Schema != p.schema {
+		return nil, fmt.Errorf("%w: database schema does not match pipeline schema", ErrPipeline)
+	}
+	y, err := perturbed.Histogram()
+	if err != nil {
+		return nil, err
+	}
+	return p.matrix.Solve(y)
+}
