@@ -11,10 +11,12 @@ package frapp
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/core"
@@ -488,6 +490,125 @@ func BenchmarkMaterializedInsert(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Concurrent ingestion: single-mutex vs sharded counter ---
+
+// ingestCounter is the submission-side surface shared by the
+// single-striped and sharded counters.
+type ingestCounter interface {
+	Add(dataset.Record) error
+	Snapshot() *mining.MaterializedGammaCounter
+}
+
+// benchConcurrentIngest splits b.N submissions across g goroutines — the
+// shape of g HTTP handlers draining a busy submit endpoint.
+func benchConcurrentIngest(b *testing.B, c ingestCounter, g int) {
+	b.Helper()
+	recs := [4]dataset.Record{
+		{0, 1, 1, 0, 1, 0},
+		{1, 0, 2, 1, 0, 1},
+		{2, 1, 0, 1, 1, 0},
+		{0, 0, 3, 0, 0, 1},
+	}
+	b.ResetTimer()
+	if err := core.ForEachSpan(b.N, g, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := c.Add(recs[i&3]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkConcurrentIngest compares ingestion throughput of the
+// single-mutex MaterializedGammaCounter against the lock-striped
+// ShardedGammaCounter under 1, 4, and 8 concurrent submitters. The
+// single counter serializes every O(M·2^M) histogram update on one lock,
+// so its throughput is flat in the submitter count; the sharded counter
+// is expected to scale roughly linearly up to the core count.
+func BenchmarkConcurrentIngest(b *testing.B) {
+	sc := dataset.CensusSchema()
+	m, err := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("single/submitters=%d", g), func(b *testing.B) {
+			c, err := mining.NewMaterializedGammaCounter(sc, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchConcurrentIngest(b, c, g)
+		})
+		b.Run(fmt.Sprintf("sharded/submitters=%d", g), func(b *testing.B) {
+			c, err := mining.NewShardedGammaCounter(sc, m, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchConcurrentIngest(b, c, g)
+		})
+	}
+}
+
+// BenchmarkConcurrentIngestAndMine is the mixed service workload: 4
+// submitters ingest while a background miner periodically snapshots and
+// runs Apriori over the live counter (1ms between passes — a busy /v1/mine
+// endpoint). Measures ingestion throughput under mining interference
+// (the sharded counter only blocks one shard at a time while the
+// snapshot folds).
+func BenchmarkConcurrentIngestAndMine(b *testing.B) {
+	sc := dataset.CensusSchema()
+	m, err := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const submitters = 4
+	run := func(b *testing.B, c ingestCounter) {
+		// Seed so the miner always has data.
+		if err := c.Add(dataset.Record{0, 1, 1, 0, 1, 0}); err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var minerWg sync.WaitGroup
+		minerWg.Add(1)
+		go func() {
+			defer minerWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Millisecond):
+				}
+				snap := c.Snapshot()
+				if _, err := mining.Apriori(snap, 0.05); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		benchConcurrentIngest(b, c, submitters)
+		b.StopTimer()
+		close(stop)
+		minerWg.Wait()
+	}
+	b.Run("single", func(b *testing.B) {
+		c, err := mining.NewMaterializedGammaCounter(sc, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, c)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		c, err := mining.NewShardedGammaCounter(sc, m, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, c)
+	})
 }
 
 // BenchmarkPerturbParallel vs the serial DET-GD throughput bench:

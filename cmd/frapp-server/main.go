@@ -6,6 +6,10 @@
 //
 //	frapp-server [-addr :8080] [-schema census|health]
 //	             [-rho1 0.05] [-rho2 0.50] [-state state.gob]
+//	             [-shards 0]
+//
+// -shards stripes the ingestion counter so concurrent submissions never
+// contend on one lock; 0 (the default) means one shard per core.
 //
 // With -state, the accumulated (perturbed) counts are restored at start
 // and persisted atomically on SIGINT/SIGTERM, so a restart loses no
@@ -37,15 +41,16 @@ func main() {
 		rho1       = flag.Float64("rho1", 0.05, "privacy prior bound rho1")
 		rho2       = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
 		state      = flag.String("state", "", "state file for restart durability (optional)")
+		shards     = flag.Int("shards", 0, "ingestion shards (0 = one per core)")
 	)
 	flag.Parse()
-	if err := run(*addr, *schemaName, *rho1, *rho2, *state); err != nil {
+	if err := run(*addr, *schemaName, *rho1, *rho2, *state, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "frapp-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schemaName string, rho1, rho2 float64, statePath string) error {
+func run(addr, schemaName string, rho1, rho2 float64, statePath string, shards int) error {
 	var sc *dataset.Schema
 	switch schemaName {
 	case "census":
@@ -62,14 +67,14 @@ func run(addr, schemaName string, rho1, rho2 float64, statePath string) error {
 		err error
 	)
 	if statePath != "" {
-		srv, err = service.NewServerWithState(sc, spec, statePath)
+		srv, err = service.NewServerWithState(sc, spec, statePath, service.WithShards(shards))
 	} else {
-		srv, err = service.NewServer(sc, spec)
+		srv, err = service.NewServer(sc, spec, service.WithShards(shards))
 	}
 	if err != nil {
 		return err
 	}
-	log.Printf("frapp-server: schema=%s records=%d listening on %s", sc.Name, srv.N(), addr)
+	log.Printf("frapp-server: schema=%s records=%d shards=%d listening on %s", sc.Name, srv.N(), srv.Shards(), addr)
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

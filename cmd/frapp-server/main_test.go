@@ -7,10 +7,10 @@ import (
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run(":0", "bogus", 0.05, 0.5, ""); err == nil {
+	if err := run(":0", "bogus", 0.05, 0.5, "", 0); err == nil {
 		t.Fatal("unknown schema accepted")
 	}
-	if err := run(":0", "census", 0.5, 0.05, ""); err == nil {
+	if err := run(":0", "census", 0.5, 0.05, "", 0); err == nil {
 		t.Fatal("inverted privacy spec accepted")
 	}
 }
@@ -20,7 +20,7 @@ func TestRunRejectsCorruptState(t *testing.T) {
 	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(":0", "census", 0.05, 0.5, path); err == nil {
+	if err := run(":0", "census", 0.05, 0.5, path, 4); err == nil {
 		t.Fatal("corrupt state accepted")
 	}
 }

@@ -174,6 +174,12 @@ var (
 	Apriori = mining.Apriori
 	// NewGammaCounter reconstructs supports from gamma-perturbed data.
 	NewGammaCounter = mining.NewGammaCounter
+	// NewMaterializedGammaCounter builds the incremental counter of the
+	// collection service (instant mining, single-striped ingestion).
+	NewMaterializedGammaCounter = mining.NewMaterializedGammaCounter
+	// NewShardedGammaCounter builds the lock-striped incremental counter
+	// (linearly scalable concurrent ingestion).
+	NewShardedGammaCounter = mining.NewShardedGammaCounter
 	// GenerateRules derives association rules from a mining result.
 	GenerateRules = mining.GenerateRules
 	// EvaluateAccuracy compares mined output with ground truth.
@@ -185,6 +191,14 @@ type ExactCounter = mining.ExactCounter
 
 // GammaCounter reconstructs supports under gamma-diagonal perturbation.
 type GammaCounter = mining.GammaCounter
+
+// MaterializedGammaCounter incrementally materializes every subset
+// histogram so mining never rescans submissions.
+type MaterializedGammaCounter = mining.MaterializedGammaCounter
+
+// ShardedGammaCounter is the lock-striped MaterializedGammaCounter used
+// by the collection service's concurrent ingestion path.
+type ShardedGammaCounter = mining.ShardedGammaCounter
 
 // MaskCounter reconstructs supports under MASK perturbation.
 type MaskCounter = mining.MaskCounter

@@ -1,0 +1,7 @@
+module repro
+
+// The go directive must be >= 1.22: internal/service/server.go registers
+// handlers with method-qualified patterns ("GET /v1/schema"). Before 1.22
+// net/http treats those strings as literal paths, so every endpoint 404s
+// and all service tests fail.
+go 1.24

@@ -9,6 +9,46 @@ import (
 	"repro/internal/dataset"
 )
 
+// ForEachSpan splits [0, n) into contiguous spans, one per worker
+// goroutine, runs fn(w, lo, hi) on each concurrently, and returns the
+// lowest-indexed worker's error. workers <= 0 defaults to
+// runtime.GOMAXPROCS(0); the worker count is capped at n, and a single
+// worker runs inline on the caller's goroutine. The span boundaries are
+// a pure function of (n, workers), which parallel perturbation relies
+// on for deterministic per-span RNG seeding.
+func ForEachSpan(n, workers int, fn func(w, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return fn(0, 0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PerturbDatabaseParallel perturbs every record using a pool of worker
 // goroutines. Client-side perturbation is embarrassingly parallel — each
 // record's distortion is independent — so the only care needed is
@@ -18,42 +58,25 @@ import (
 // workers). Note that changing the worker count changes the span
 // boundaries and therefore the (equally valid) random outcome.
 func PerturbDatabaseParallel(db *dataset.Database, p Perturber, baseSeed int64, workers int) (*dataset.Database, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	n := db.N()
 	if n == 0 {
 		return dataset.NewDatabase(db.Schema, 0), nil
 	}
-	if workers > n {
-		workers = n
-	}
 	out := make([]dataset.Record, n)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			const spanMix = int64(0x5851F42D4C957F2D) // per-span seed decorrelation
-			rng := rand.New(rand.NewSource(baseSeed ^ (int64(w)+1)*spanMix))
-			for i := lo; i < hi; i++ {
-				rec, err := p.Perturb(db.Records[i], rng)
-				if err != nil {
-					errs[w] = fmt.Errorf("record %d: %w", i, err)
-					return
-				}
-				out[i] = rec
+	err := ForEachSpan(n, workers, func(w, lo, hi int) error {
+		const spanMix = int64(0x5851F42D4C957F2D) // per-span seed decorrelation
+		rng := rand.New(rand.NewSource(baseSeed ^ (int64(w)+1)*spanMix))
+		for i := lo; i < hi; i++ {
+			rec, err := p.Perturb(db.Records[i], rng)
+			if err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			out[i] = rec
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &dataset.Database{Schema: db.Schema, Records: out}, nil
 }

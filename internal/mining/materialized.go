@@ -92,11 +92,17 @@ func (c *MaterializedGammaCounter) Add(rec dataset.Record) error {
 
 // AddDatabase ingests every record of a perturbed database.
 func (c *MaterializedGammaCounter) AddDatabase(db *dataset.Database) error {
-	if db.Schema != c.schema {
+	return addDatabase(c.schema, c.Add, db)
+}
+
+// addDatabase feeds every record of db through add, shared by the
+// single-striped and sharded counters.
+func addDatabase(schema *dataset.Schema, add func(dataset.Record) error, db *dataset.Database) error {
+	if db.Schema != schema {
 		return fmt.Errorf("%w: database schema does not match counter schema", ErrMining)
 	}
 	for i, rec := range db.Records {
-		if err := c.Add(rec); err != nil {
+		if err := add(rec); err != nil {
 			return fmt.Errorf("record %d: %w", i, err)
 		}
 	}

@@ -9,10 +9,16 @@ import (
 	"repro/internal/dataset"
 )
 
-// counterState is the serialized form of a MaterializedGammaCounter.
-// The schema itself is NOT serialized — the loader supplies it and the
-// state is validated against it, so a state file can never silently
-// reinterpret a different schema's counts.
+// counterState is the serialized form of a counter. The schema itself is
+// NOT serialized — the loader supplies it and the state is validated
+// against it, so a state file can never silently reinterpret a different
+// schema's counts.
+//
+// Version 1 carries a single counter in (N, Hists); version 2 carries
+// one (N, Hists) payload per shard in Shards. Gob matches fields by
+// name, so either version decodes into this struct and the loaders
+// accept both: a sharded server restores single-counter state files and
+// vice versa, with saved shards folded modulo the live shard count.
 type counterState struct {
 	Version    int
 	SchemaName string
@@ -21,41 +27,81 @@ type counterState struct {
 	MatrixN    int
 	MatrixDiag float64
 	MatrixOff  float64
-	N          int
-	Hists      [][]float64
+
+	// Version 1 payload: one counter.
+	N     int
+	Hists [][]float64
+
+	// Version 2 payload: one entry per shard.
+	Shards []shardState
 }
 
-const counterStateVersion = 1
+// shardState is one shard's counts.
+type shardState struct {
+	N     int
+	Hists [][]float64
+}
 
-// Save serializes the counter (gob encoding) so a collection server can
-// restart without losing submissions.
-func (c *MaterializedGammaCounter) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	st := counterState{
-		Version:    counterStateVersion,
+const (
+	counterStateVersion = 1
+	shardedStateVersion = 2
+)
+
+func (c *MaterializedGammaCounter) metaState(version int) counterState {
+	return counterState{
+		Version:    version,
 		SchemaName: c.schema.Name,
 		M:          c.schema.M(),
 		DomainSize: c.schema.DomainSize(),
 		MatrixN:    c.matrix.N,
 		MatrixDiag: c.matrix.Diag,
 		MatrixOff:  c.matrix.Off,
-		N:          c.n,
-		Hists:      c.hists,
+	}
+}
+
+// Save serializes the counter (gob encoding) so a collection server can
+// restart without losing submissions.
+func (c *MaterializedGammaCounter) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := c.metaState(counterStateVersion)
+	st.N = c.n
+	st.Hists = c.hists
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Save serializes every shard. Each shard is deep-copied under its own
+// lock first, so submissions may keep arriving while the state streams
+// out.
+func (c *ShardedGammaCounter) Save(w io.Writer) error {
+	st := c.shards[0].metaState(shardedStateVersion)
+	st.Shards = make([]shardState, len(c.shards))
+	for i, s := range c.shards {
+		snap := s.Snapshot()
+		st.Shards[i] = shardState{N: snap.n, Hists: snap.hists}
 	}
 	return gob.NewEncoder(w).Encode(&st)
 }
 
-// LoadMaterializedGammaCounter restores a counter saved with Save,
-// validating every structural invariant against the supplied schema and
-// matrix before accepting the state.
-func LoadMaterializedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix) (*MaterializedGammaCounter, error) {
+// decodeCounterState decodes either state version and validates its
+// metadata against the supplied schema and matrix. On success the
+// payload is normalized into st.Shards (a version-1 file becomes one
+// shard).
+func decodeCounterState(r io.Reader, schema *dataset.Schema, m core.UniformMatrix) (*counterState, error) {
 	var st counterState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("%w: decoding counter state: %v", ErrMining, err)
 	}
-	if st.Version != counterStateVersion {
-		return nil, fmt.Errorf("%w: counter state version %d, want %d", ErrMining, st.Version, counterStateVersion)
+	switch st.Version {
+	case counterStateVersion:
+		st.Shards = []shardState{{N: st.N, Hists: st.Hists}}
+	case shardedStateVersion:
+		if len(st.Shards) == 0 {
+			return nil, fmt.Errorf("%w: sharded state has no shards", ErrMining)
+		}
+	default:
+		return nil, fmt.Errorf("%w: counter state version %d, want %d or %d",
+			ErrMining, st.Version, counterStateVersion, shardedStateVersion)
 	}
 	if st.SchemaName != schema.Name || st.M != schema.M() || st.DomainSize != schema.DomainSize() {
 		return nil, fmt.Errorf("%w: state was saved for schema %q (M=%d, |S_U|=%d), not %q (M=%d, |S_U|=%d)",
@@ -64,36 +110,87 @@ func LoadMaterializedGammaCounter(r io.Reader, schema *dataset.Schema, m core.Un
 	if st.MatrixN != m.N || st.MatrixDiag != m.Diag || st.MatrixOff != m.Off {
 		return nil, fmt.Errorf("%w: state was saved under a different perturbation matrix", ErrMining)
 	}
-	if st.N < 0 {
-		return nil, fmt.Errorf("%w: negative record count %d", ErrMining, st.N)
+	return &st, nil
+}
+
+// applyShardState validates one shard payload against the counter's
+// structure — histogram shapes, non-negative cells, per-subset totals
+// matching the record count — and folds its counts in. Callers apply to
+// freshly built counters only, so a partially applied failed load is
+// simply discarded.
+func applyShardState(c *MaterializedGammaCounter, sh shardState) error {
+	if sh.N < 0 {
+		return fmt.Errorf("%w: negative record count %d", ErrMining, sh.N)
+	}
+	if len(sh.Hists) != len(c.hists) {
+		return fmt.Errorf("%w: state has %d subset histograms, want %d", ErrMining, len(sh.Hists), len(c.hists))
+	}
+	for mask := 1; mask < len(c.hists); mask++ {
+		if len(sh.Hists[mask]) != len(c.hists[mask]) {
+			return fmt.Errorf("%w: subset %d histogram has %d cells, want %d",
+				ErrMining, mask, len(sh.Hists[mask]), len(c.hists[mask]))
+		}
+		var sum float64
+		for _, v := range sh.Hists[mask] {
+			if v < 0 {
+				return fmt.Errorf("%w: negative count in subset %d", ErrMining, mask)
+			}
+			sum += v
+		}
+		if diff := sum - float64(sh.N); diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("%w: subset %d totals %v, want %d", ErrMining, mask, sum, sh.N)
+		}
+		addInto(c.hists[mask], sh.Hists[mask])
+	}
+	c.n += sh.N
+	return nil
+}
+
+// LoadMaterializedGammaCounter restores a counter saved with either
+// counter's Save, validating every structural invariant against the
+// supplied schema and matrix before accepting the state. Sharded state
+// is merged into the single counter.
+func LoadMaterializedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix) (*MaterializedGammaCounter, error) {
+	st, err := decodeCounterState(r, schema, m)
+	if err != nil {
+		return nil, err
 	}
 	c, err := NewMaterializedGammaCounter(schema, m)
 	if err != nil {
 		return nil, err
 	}
-	if len(st.Hists) != len(c.hists) {
-		return nil, fmt.Errorf("%w: state has %d subset histograms, want %d", ErrMining, len(st.Hists), len(c.hists))
+	for _, sh := range st.Shards {
+		if err := applyShardState(c, sh); err != nil {
+			return nil, err
+		}
 	}
-	var total float64
-	for mask := 1; mask < len(c.hists); mask++ {
-		if len(st.Hists[mask]) != len(c.hists[mask]) {
-			return nil, fmt.Errorf("%w: subset %d histogram has %d cells, want %d",
-				ErrMining, mask, len(st.Hists[mask]), len(c.hists[mask]))
-		}
-		var sum float64
-		for _, v := range st.Hists[mask] {
-			if v < 0 {
-				return nil, fmt.Errorf("%w: negative count in subset %d", ErrMining, mask)
-			}
-			sum += v
-		}
-		if diff := sum - float64(st.N); diff > 1e-6 || diff < -1e-6 {
-			return nil, fmt.Errorf("%w: subset %d totals %v, want %d", ErrMining, mask, sum, st.N)
-		}
-		copy(c.hists[mask], st.Hists[mask])
-		total += sum
+	return c, nil
+}
+
+// LoadShardedGammaCounter restores a sharded counter saved with either
+// counter's Save. The live shard count is the caller's choice, not the
+// file's: saved shard i folds into live shard i mod shards, so state
+// round-trips across -shards changes and across the single↔sharded
+// counter boundary.
+func LoadShardedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix, shards int) (*ShardedGammaCounter, error) {
+	st, err := decodeCounterState(r, schema, m)
+	if err != nil {
+		return nil, err
 	}
-	c.n = st.N
-	_ = total
+	c, err := NewShardedGammaCounter(schema, m, shards)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, sh := range st.Shards {
+		if err := applyShardState(c.shards[i%len(c.shards)], sh); err != nil {
+			return nil, err
+		}
+		total += sh.N
+	}
+	// Resume round-robin routing where the restored population left off
+	// so post-restore submissions keep the shards balanced.
+	c.next.Store(uint64(total))
+	c.total.Store(int64(total))
 	return c, nil
 }

@@ -1,0 +1,219 @@
+package mining
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ShardedGammaCounter is a lock-striped MaterializedGammaCounter for the
+// collection service's hot path. A single materialized counter serializes
+// every submission on one mutex held across an O(M·2^M) histogram update,
+// so a busy server cannot use more than one core for ingestion. Sharding
+// splits the counter into S independent MaterializedGammaCounter shards,
+// each with its own lock and its own copy of the subset histograms;
+// submissions are routed round-robin, so concurrent submitters contend
+// only when they land on the same shard at the same instant (probability
+// ~1/S). Because every record lands entirely in exactly one shard,
+// summing per-shard histograms and record counts reproduces the
+// single-counter state exactly — the reconstruction arithmetic over
+// integer-valued counts is bit-identical.
+//
+// Reads merge on demand: Supports sums only the histograms its
+// candidates touch and evaluates the batch across a worker pool (the
+// span pattern of core.PerturbDatabaseParallel); Snapshot folds all
+// shards into one frozen MaterializedGammaCounter for consistent
+// multi-pass mining.
+type ShardedGammaCounter struct {
+	schema *dataset.Schema
+	matrix core.UniformMatrix
+	shards []*MaterializedGammaCounter
+	next   atomic.Uint64
+	// total mirrors the sum of shard record counts so N() — called on
+	// every submit response — stays lock-free instead of sweeping all
+	// shard mutexes.
+	total atomic.Int64
+}
+
+// NewShardedGammaCounter builds a counter with the given shard count;
+// shards <= 0 defaults to runtime.GOMAXPROCS(0).
+func NewShardedGammaCounter(schema *dataset.Schema, m core.UniformMatrix, shards int) (*ShardedGammaCounter, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	c := &ShardedGammaCounter{
+		schema: schema,
+		matrix: m,
+		shards: make([]*MaterializedGammaCounter, shards),
+	}
+	for i := range c.shards {
+		s, err := NewMaterializedGammaCounter(schema, m)
+		if err != nil {
+			return nil, err
+		}
+		c.shards[i] = s
+	}
+	return c, nil
+}
+
+// Shards returns the number of stripes.
+func (c *ShardedGammaCounter) Shards() int { return len(c.shards) }
+
+// Schema returns the counter's schema.
+func (c *ShardedGammaCounter) Schema() *dataset.Schema { return c.schema }
+
+// Add ingests one (already perturbed) record into the next shard in
+// round-robin order. The atomic routing counter is the only state shared
+// between concurrent submitters.
+func (c *ShardedGammaCounter) Add(rec dataset.Record) error {
+	shard := c.next.Add(1) % uint64(len(c.shards))
+	if err := c.shards[shard].Add(rec); err != nil {
+		return err
+	}
+	c.total.Add(1)
+	return nil
+}
+
+// AddDatabase ingests every record of a perturbed database.
+func (c *ShardedGammaCounter) AddDatabase(db *dataset.Database) error {
+	return addDatabase(c.schema, c.Add, db)
+}
+
+// N returns the total number of ingested records across all shards.
+func (c *ShardedGammaCounter) N() int {
+	return int(c.total.Load())
+}
+
+// Snapshot folds every shard into one frozen MaterializedGammaCounter.
+// Shards are read one at a time under their own locks; a record is
+// counted in every histogram of its shard or in none, so the merged copy
+// is always a consistent view of some set of fully ingested records even
+// while submissions keep arriving.
+func (c *ShardedGammaCounter) Snapshot() *MaterializedGammaCounter {
+	first := c.shards[0]
+	merged := &MaterializedGammaCounter{
+		schema:   c.schema,
+		matrix:   c.matrix,
+		cols:     first.cols,     // immutable after construction
+		subSizes: first.subSizes, // immutable after construction
+		hists:    make([][]float64, len(first.hists)),
+	}
+	for mask := 1; mask < len(first.hists); mask++ {
+		merged.hists[mask] = make([]float64, len(first.hists[mask]))
+	}
+	for _, s := range c.shards {
+		s.mu.RLock()
+		merged.n += s.n
+		for mask := 1; mask < len(s.hists); mask++ {
+			addInto(merged.hists[mask], s.hists[mask])
+		}
+		s.mu.RUnlock()
+	}
+	return merged
+}
+
+// addInto accumulates src into dst element-wise — the histogram fold
+// shared by the snapshot, query-merge, and state-restore paths.
+func addInto(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// shardedCandidate is the per-candidate routing computed during the
+// parallel validation pass.
+type shardedCandidate struct {
+	mask int
+	idx  int
+}
+
+// Supports merges only the subset histograms the candidate batch touches
+// and evaluates the Eq. 28 closed form across a worker pool. Candidate
+// batches come from Apriori passes, which can be thousands of itemsets
+// wide — both the validation/routing pass and the reconstruction pass
+// split the batch into contiguous worker spans.
+func (c *ShardedGammaCounter) Supports(candidates []Itemset) ([]float64, error) {
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	routed := make([]shardedCandidate, len(candidates))
+	if err := c.forEachSpan(len(candidates), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			cand := candidates[i]
+			// Validate enforces canonical strictly-increasing attribute
+			// order, so the mask below cannot alias two items.
+			if err := cand.Validate(c.schema); err != nil {
+				return err
+			}
+			mask := 0
+			idx := 0
+			for _, it := range cand {
+				mask |= 1 << uint(it.Attr)
+				idx = idx*c.schema.Attrs[it.Attr].Cardinality() + it.Value
+			}
+			routed[i] = shardedCandidate{mask: mask, idx: idx}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Merge the touched masks across shards, one shard lock at a time.
+	// Shard-local (n, hists) pairs are internally consistent, so their
+	// sum reconstructs supports for a valid record set.
+	merged := make(map[int][]float64)
+	for _, rc := range routed {
+		if merged[rc.mask] == nil {
+			merged[rc.mask] = make([]float64, c.shards[0].subSizes[rc.mask])
+		}
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		n += s.n
+		for mask, dst := range merged {
+			addInto(dst, s.hists[mask])
+		}
+		s.mu.RUnlock()
+	}
+
+	marginals := make(map[int]core.UniformMatrix, len(merged))
+	for mask := range merged {
+		marg, err := c.matrix.Marginal(c.shards[0].subSizes[mask])
+		if err != nil {
+			return nil, err
+		}
+		marginals[mask] = marg
+	}
+
+	out := make([]float64, len(candidates))
+	fn := float64(n)
+	if err := c.forEachSpan(len(candidates), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rc := routed[i]
+			marg := marginals[rc.mask]
+			out[i] = (merged[rc.mask][rc.idx] - marg.Off*fn) / (marg.Diag - marg.Off)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEachSpan runs fn over contiguous spans of [0, n) on a worker pool
+// (core.ForEachSpan), capping the worker count so small batches run
+// inline — goroutine scheduling would dominate the arithmetic.
+func (c *ShardedGammaCounter) forEachSpan(n int, fn func(lo, hi int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	const minSpan = 64
+	if workers > n/minSpan {
+		workers = n / minSpan
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	return core.ForEachSpan(n, workers, func(_, lo, hi int) error { return fn(lo, hi) })
+}

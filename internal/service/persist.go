@@ -23,9 +23,10 @@ func (s *Server) SaveState(w io.Writer) error {
 
 // LoadState replaces the server's counter with a previously saved state.
 // The state must have been saved for the same schema and privacy
-// contract.
+// contract; the shard count is the live server's, not the file's, so
+// state survives -shards changes across restarts.
 func (s *Server) LoadState(r io.Reader) error {
-	counter, err := mining.LoadMaterializedGammaCounter(r, s.schema, s.matrix)
+	counter, err := mining.LoadShardedGammaCounter(r, s.schema, s.matrix, s.counter.Shards())
 	if err != nil {
 		return err
 	}
@@ -56,8 +57,8 @@ func (s *Server) PersistStateFile(path string) error {
 
 // NewServerWithState builds a server, restoring state from path when the
 // file exists. A missing file is not an error — the server starts empty.
-func NewServerWithState(schema *dataset.Schema, spec core.PrivacySpec, path string) (*Server, error) {
-	srv, err := NewServer(schema, spec)
+func NewServerWithState(schema *dataset.Schema, spec core.PrivacySpec, path string, opts ...Option) (*Server, error) {
+	srv, err := NewServer(schema, spec, opts...)
 	if err != nil {
 		return nil, err
 	}

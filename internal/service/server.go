@@ -26,20 +26,40 @@ var ErrService = errors.New("service: invalid input")
 
 // Server is the miner-side endpoint. It never sees unperturbed data: it
 // ingests whatever (already-perturbed) records clients submit into an
-// incrementally materialized counter and answers mining queries through
-// the published matrix without ever rescanning submissions.
+// incrementally materialized, lock-striped counter and answers mining
+// queries through the published matrix without ever rescanning
+// submissions. Concurrent submit handlers land on different counter
+// shards, so ingestion scales with cores instead of serializing on one
+// mutex.
 type Server struct {
 	schema  *dataset.Schema
 	spec    core.PrivacySpec
 	gamma   float64
 	matrix  core.UniformMatrix
-	counter *mining.MaterializedGammaCounter
+	counter *mining.ShardedGammaCounter
+}
+
+// Option configures a Server.
+type Option func(*serverConfig)
+
+type serverConfig struct {
+	shards int
+}
+
+// WithShards sets the ingestion shard count. Values <= 0 (and the
+// default) mean runtime.GOMAXPROCS(0) — one stripe per core.
+func WithShards(n int) Option {
+	return func(c *serverConfig) { c.shards = n }
 }
 
 // NewServer configures a server for one schema and privacy contract.
-func NewServer(schema *dataset.Schema, spec core.PrivacySpec) (*Server, error) {
+func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*Server, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("%w: nil schema", ErrService)
+	}
+	var cfg serverConfig
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	gamma, err := spec.Gamma()
 	if err != nil {
@@ -49,7 +69,7 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	counter, err := mining.NewMaterializedGammaCounter(schema, matrix)
+	counter, err := mining.NewShardedGammaCounter(schema, matrix, cfg.shards)
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +78,9 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec) (*Server, error) {
 
 // N returns the number of submissions received so far.
 func (s *Server) N() int { return s.counter.N() }
+
+// Shards returns the ingestion shard count.
+func (s *Server) Shards() int { return s.counter.Shards() }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -174,6 +197,7 @@ type StatsResponse struct {
 	Gamma           float64 `json:"gamma"`
 	ConditionNumber float64 `json:"condition_number"`
 	DomainSize      int     `json:"domain_size"`
+	Shards          int     `json:"shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -182,6 +206,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Gamma:           s.gamma,
 		ConditionNumber: s.matrix.Cond(),
 		DomainSize:      s.schema.DomainSize(),
+		Shards:          s.Shards(),
 	})
 }
 

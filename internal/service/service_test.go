@@ -250,6 +250,72 @@ func TestConcurrentSubmissions(t *testing.T) {
 	}
 }
 
+func TestServerShardsOption(t *testing.T) {
+	srv, err := NewServer(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50}, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Shards() != 3 {
+		t.Fatalf("shards = %d, want 3", srv.Shards())
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	if err := client.Submit(dataset.Record{0, 0, 0}, rng); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 3 || stats.Records != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Default servers stripe per core.
+	def, err := NewServer(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Shards() < 1 {
+		t.Fatalf("default shards = %d", def.Shards())
+	}
+}
+
+func TestServerStateAcrossShardCounts(t *testing.T) {
+	srv, ts := startServer(t)
+	client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	var recs []dataset.Record
+	for i := 0; i < 300; i++ {
+		recs = append(recs, dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)})
+	}
+	if err := client.SubmitBatch(recs, rng); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := srv.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restore under a different -shards setting: nothing lost.
+	restored, err := NewServer(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50}, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != srv.N() || restored.Shards() != 2 {
+		t.Fatalf("restored N=%d shards=%d, want N=%d shards=2", restored.N(), restored.Shards(), srv.N())
+	}
+}
+
 func TestNewClientBadServer(t *testing.T) {
 	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "nope", http.StatusTeapot)
