@@ -611,6 +611,65 @@ func BenchmarkConcurrentIngestAndMine(b *testing.B) {
 	})
 }
 
+// --- Mining jobs: snapshot-versioned result cache ---
+
+// benchMineServer starts a collection service with data already
+// ingested, for the cached-mining benches.
+func benchMineServer(b *testing.B) (*service.Server, *service.Client) {
+	b.Helper()
+	srv, err := service.NewServer(dataset.CensusSchema(), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	client, err := service.NewClient(ts.URL, service.WithHTTPClient(ts.Client()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	recs := make([]dataset.Record, 5000)
+	for i := range recs {
+		recs[i] = dataset.Record{rng.Intn(4), rng.Intn(5), rng.Intn(5), rng.Intn(5), rng.Intn(2), rng.Intn(2)}
+	}
+	if err := client.SubmitBatch(recs, rng); err != nil {
+		b.Fatal(err)
+	}
+	return srv, client
+}
+
+// BenchmarkServiceMineCached measures repeated mining of an UNCHANGED
+// collection end to end over HTTP: after the first request every mine
+// is a cache hit keyed by (snapshot version, minsup, scheme, maxlen),
+// so the cost is JSON rendering, not Apriori.
+func BenchmarkServiceMineCached(b *testing.B) {
+	_, client := benchMineServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Mine(0.05, 0, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceMineUncached is the contrast: one submission between
+// mines bumps the snapshot version, so every request re-runs Apriori.
+func BenchmarkServiceMineUncached(b *testing.B) {
+	_, client := benchMineServer(b)
+	rng := rand.New(rand.NewSource(15))
+	rec := dataset.Record{0, 1, 1, 0, 1, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Submit(rec, rng); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Mine(0.05, 0, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPerturbParallel vs the serial DET-GD throughput bench:
 // client-side perturbation across a worker pool.
 func BenchmarkPerturbParallel(b *testing.B) {

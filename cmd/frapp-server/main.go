@@ -6,10 +6,14 @@
 //
 //	frapp-server [-addr :8080] [-schema census|health]
 //	             [-rho1 0.05] [-rho2 0.50] [-state state.gob]
-//	             [-shards 0]
+//	             [-shards 0] [-mine-workers 2] [-job-ttl 15m]
 //
 // -shards stripes the ingestion counter so concurrent submissions never
 // contend on one lock; 0 (the default) means one shard per core.
+// -mine-workers bounds how many mining jobs (async /v1/mine-jobs and
+// sync /v1/mine alike) execute concurrently, and -job-ttl controls how
+// long finished jobs stay pollable; unchanged collections are served
+// from the snapshot-versioned result cache without re-running Apriori.
 //
 // With -state, the accumulated (perturbed) counts are restored at start
 // and persisted atomically on SIGINT/SIGTERM, so a restart loses no
@@ -42,41 +46,65 @@ func main() {
 		rho2       = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
 		state      = flag.String("state", "", "state file for restart durability (optional)")
 		shards     = flag.Int("shards", 0, "ingestion shards (0 = one per core)")
+		workers    = flag.Int("mine-workers", 0, "concurrent mining jobs (0 = default 2)")
+		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished mining jobs (0 = default 15m)")
 	)
 	flag.Parse()
-	if err := run(*addr, *schemaName, *rho1, *rho2, *state, *shards); err != nil {
+	cfg := serverConfig{
+		addr: *addr, schema: *schemaName, rho1: *rho1, rho2: *rho2,
+		state: *state, shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "frapp-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schemaName string, rho1, rho2 float64, statePath string, shards int) error {
+// serverConfig carries the flag set into run.
+type serverConfig struct {
+	addr        string
+	schema      string
+	rho1, rho2  float64
+	state       string
+	shards      int
+	mineWorkers int
+	jobTTL      time.Duration
+}
+
+func run(cfg serverConfig) error {
 	var sc *dataset.Schema
-	switch schemaName {
+	switch cfg.schema {
 	case "census":
 		sc = dataset.CensusSchema()
 	case "health":
 		sc = dataset.HealthSchema()
 	default:
-		return fmt.Errorf("unknown schema %q", schemaName)
+		return fmt.Errorf("unknown schema %q", cfg.schema)
 	}
-	spec := core.PrivacySpec{Rho1: rho1, Rho2: rho2}
+	spec := core.PrivacySpec{Rho1: cfg.rho1, Rho2: cfg.rho2}
+	opts := []service.Option{
+		service.WithShards(cfg.shards),
+		service.WithMineWorkers(cfg.mineWorkers),
+		service.WithJobTTL(cfg.jobTTL),
+	}
 
 	var (
 		srv *service.Server
 		err error
 	)
-	if statePath != "" {
-		srv, err = service.NewServerWithState(sc, spec, statePath, service.WithShards(shards))
+	if cfg.state != "" {
+		srv, err = service.NewServerWithState(sc, spec, cfg.state, opts...)
 	} else {
-		srv, err = service.NewServer(sc, spec, service.WithShards(shards))
+		srv, err = service.NewServer(sc, spec, opts...)
 	}
 	if err != nil {
 		return err
 	}
-	log.Printf("frapp-server: schema=%s records=%d shards=%d listening on %s", sc.Name, srv.N(), srv.Shards(), addr)
+	defer srv.Close()
+	log.Printf("frapp-server: schema=%s records=%d shards=%d mine-workers=%d listening on %s",
+		sc.Name, srv.N(), srv.Shards(), srv.MineWorkers(), cfg.addr)
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -95,11 +123,11 @@ func run(addr, schemaName string, rho1, rho2 float64, statePath string, shards i
 			log.Printf("frapp-server: shutdown: %v", err)
 		}
 	}
-	if statePath != "" {
-		if err := srv.PersistStateFile(statePath); err != nil {
+	if cfg.state != "" {
+		if err := srv.PersistStateFile(cfg.state); err != nil {
 			return fmt.Errorf("persisting state: %w", err)
 		}
-		log.Printf("frapp-server: state persisted to %s (%d records)", statePath, srv.N())
+		log.Printf("frapp-server: state persisted to %s (%d records)", cfg.state, srv.N())
 	}
 	return nil
 }

@@ -4,13 +4,14 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run(":0", "bogus", 0.05, 0.5, "", 0); err == nil {
+	if err := run(serverConfig{addr: ":0", schema: "bogus", rho1: 0.05, rho2: 0.5}); err == nil {
 		t.Fatal("unknown schema accepted")
 	}
-	if err := run(":0", "census", 0.5, 0.05, "", 0); err == nil {
+	if err := run(serverConfig{addr: ":0", schema: "census", rho1: 0.5, rho2: 0.05}); err == nil {
 		t.Fatal("inverted privacy spec accepted")
 	}
 }
@@ -20,7 +21,11 @@ func TestRunRejectsCorruptState(t *testing.T) {
 	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(":0", "census", 0.05, 0.5, path, 4); err == nil {
+	cfg := serverConfig{
+		addr: ":0", schema: "census", rho1: 0.05, rho2: 0.5,
+		state: path, shards: 4, mineWorkers: 1, jobTTL: time.Minute,
+	}
+	if err := run(cfg); err == nil {
 		t.Fatal("corrupt state accepted")
 	}
 }

@@ -6,12 +6,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"time"
 
 	frapp "repro"
 )
@@ -22,10 +24,11 @@ func main() {
 	schema := frapp.CensusSchema()
 	priv := frapp.PrivacySpec{Rho1: 0.05, Rho2: 0.50}
 
-	server, err := frapp.NewCollectionServer(schema, priv)
+	server, err := frapp.NewCollectionServer(schema, priv, frapp.WithMineWorkers(2))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer server.Close()
 	ts := httptest.NewServer(server.Handler())
 	defer ts.Close()
 	fmt.Printf("server up at %s (schema %s)\n", ts.URL, schema.Name)
@@ -54,14 +57,32 @@ func main() {
 	}
 	fmt.Printf("collected %d perturbed submissions (cond=%.4g)\n", stats.Records, stats.ConditionNumber)
 
-	mr, err := client.Mine(0.05, 0.8, 5)
+	// Mining runs as an asynchronous job: submit, poll to completion,
+	// read the result. (client.Mine is the synchronous wrapper over the
+	// same job pool.)
+	job, err := client.SubmitMineJob(frapp.MineParams{MinSupport: 0.05, MinConf: 0.8, Limit: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("submitted mining job %s (state %s)\n", job.ID, job.State)
+	done, err := client.AwaitMineJob(context.Background(), job.ID, 10*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mr := done.Result
+	fmt.Printf("job %s done at snapshot version %d\n", done.ID, done.SnapshotVersion)
 	fmt.Printf("reconstructed itemset counts by length: %v\n", mr.Counts)
 	for _, is := range mr.Itemsets[:min(3, len(mr.Itemsets))] {
 		fmt.Printf("  %v (sup=%.3f)\n", is.Items, is.Support)
 	}
+
+	// The collection hasn't changed, so an identical re-mine is a cache
+	// hit: same snapshot version, no second Apriori run.
+	again, err := client.MineAsync(context.Background(), frapp.MineParams{MinSupport: 0.05, MinConf: 0.8, Limit: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-mine served from cache: %v (version %d)\n", again.Cached, again.SnapshotVersion)
 
 	// Durability: persist, restart, and verify nothing was lost.
 	statePath := filepath.Join(os.TempDir(), "frapp-example-state.gob")

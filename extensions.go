@@ -42,6 +42,11 @@ type (
 	CollectionClient = service.Client
 	// MineResponse is the wire form of a mining query result.
 	MineResponse = service.MineResponse
+	// MineParams are the mining-request parameters shared by the sync
+	// endpoint and the asynchronous job API.
+	MineParams = service.MineParams
+	// MineJobResponse is the wire form of an asynchronous mining job.
+	MineJobResponse = service.JobResponse
 )
 
 var (
@@ -54,6 +59,12 @@ var (
 	WithClientRandomization = service.WithClientRandomization
 	// WithHTTPClient substitutes the client transport.
 	WithHTTPClient = service.WithHTTPClient
+	// WithCollectionShards sets the server's ingestion stripe count.
+	WithCollectionShards = service.WithShards
+	// WithMineWorkers bounds concurrently executing mining jobs.
+	WithMineWorkers = service.WithMineWorkers
+	// WithJobTTL sets the retention of finished mining jobs.
+	WithJobTTL = service.WithJobTTL
 )
 
 // Discretization (see internal/dataset).
@@ -82,7 +93,8 @@ type MiningOptions = mining.Options
 
 var (
 	// AprioriWithOptions exposes the candidate-relaxation extension for
-	// noisy reconstructed supports.
+	// noisy reconstructed supports and the MaxLen level cap used by the
+	// collection service's cached mining jobs.
 	AprioriWithOptions = mining.AprioriWithOptions
 	// BreachProbability is P(posterior > threshold) under RAN-GD
 	// randomization (Section 4.1's distributional privacy statement).

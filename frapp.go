@@ -197,7 +197,11 @@ type GammaCounter = mining.GammaCounter
 type MaterializedGammaCounter = mining.MaterializedGammaCounter
 
 // ShardedGammaCounter is the lock-striped MaterializedGammaCounter used
-// by the collection service's concurrent ingestion path.
+// by the collection service's concurrent ingestion path. It carries a
+// monotonic snapshot version (Version, SnapshotVersioned) that advances
+// with every ingested record, letting callers cache mining results for
+// as long as the counter content is provably unchanged — the mechanism
+// behind the collection service's asynchronous mining jobs.
 type ShardedGammaCounter = mining.ShardedGammaCounter
 
 // MaskCounter reconstructs supports under MASK perturbation.

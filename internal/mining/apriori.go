@@ -77,6 +77,10 @@ type Options struct {
 	// work for fewer propagated false negatives. 1 (the default)
 	// reproduces the paper's plain algorithm.
 	CandidateRelaxation float64
+	// MaxLen, when > 0, stops the level-wise search after itemsets of
+	// that length: a miner interested only in short patterns skips the
+	// (combinatorially widest) later passes entirely. 0 means unbounded.
+	MaxLen int
 }
 
 // Apriori mines all itemsets with support ≥ minSupport (a fraction in
@@ -96,6 +100,9 @@ func AprioriWithOptions(c SupportCounter, minSupport float64, opts Options) (*Re
 	if !(opts.CandidateRelaxation > 0 && opts.CandidateRelaxation <= 1) {
 		return nil, fmt.Errorf("%w: candidate relaxation %v not in (0,1]", ErrMining, opts.CandidateRelaxation)
 	}
+	if opts.MaxLen < 0 {
+		return nil, fmt.Errorf("%w: max length %d negative", ErrMining, opts.MaxLen)
+	}
 	sc := c.Schema()
 	n := c.N()
 	if n == 0 {
@@ -113,6 +120,7 @@ func AprioriWithOptions(c SupportCounter, minSupport float64, opts Options) (*Re
 	}
 
 	res := &Result{MinSupport: minSupport}
+	length := 1
 	for len(candidates) > 0 {
 		counts, err := c.Supports(candidates)
 		if err != nil {
@@ -141,7 +149,11 @@ func AprioriWithOptions(c SupportCounter, minSupport float64, opts Options) (*Re
 		if len(alive) == 0 {
 			break
 		}
+		if opts.MaxLen > 0 && length >= opts.MaxLen {
+			break
+		}
 		candidates = generateCandidates(alive)
+		length++
 	}
 	// Trim trailing empty levels cannot occur (levels are only appended
 	// when non-empty), but with relaxation the result can have gaps in

@@ -412,3 +412,40 @@ func TestAprioriRelaxationReducesFalseNegatives(t *testing.T) {
 		t.Fatalf("relaxation lost true itemsets: %d < %d", hits(relaxed), hits(plain))
 	}
 }
+
+// TestAprioriMaxLen pins the level cap: a capped run reproduces exactly
+// the first MaxLen levels of the unbounded run and never counts longer
+// candidates, and an invalid cap is rejected.
+func TestAprioriMaxLen(t *testing.T) {
+	db := buildSkewedDB(t, 20000, 5)
+	full, err := Apriori(&ExactCounter{DB: db}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.ByLength) < 2 {
+		t.Fatalf("need multi-level data, got %d levels", len(full.ByLength))
+	}
+	for maxLen := 1; maxLen <= len(full.ByLength); maxLen++ {
+		capped, err := AprioriWithOptions(&ExactCounter{DB: db}, 0.2, Options{CandidateRelaxation: 1, MaxLen: maxLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(capped.ByLength) != maxLen {
+			t.Fatalf("maxlen=%d produced %d levels", maxLen, len(capped.ByLength))
+		}
+		for l := 0; l < maxLen; l++ {
+			if len(capped.ByLength[l]) != len(full.ByLength[l]) {
+				t.Fatalf("maxlen=%d level %d has %d itemsets, want %d", maxLen, l+1, len(capped.ByLength[l]), len(full.ByLength[l]))
+			}
+			for i, fi := range capped.ByLength[l] {
+				want := full.ByLength[l][i]
+				if fi.Items.Key() != want.Items.Key() || fi.Support != want.Support {
+					t.Fatalf("maxlen=%d level %d itemset %d differs", maxLen, l+1, i)
+				}
+			}
+		}
+	}
+	if _, err := AprioriWithOptions(&ExactCounter{DB: db}, 0.2, Options{CandidateRelaxation: 1, MaxLen: -1}); !errors.Is(err, ErrMining) {
+		t.Fatal("negative maxlen accepted")
+	}
+}

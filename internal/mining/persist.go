@@ -189,8 +189,12 @@ func LoadShardedGammaCounter(r io.Reader, schema *dataset.Schema, m core.Uniform
 		total += sh.N
 	}
 	// Resume round-robin routing where the restored population left off
-	// so post-restore submissions keep the shards balanced.
+	// so post-restore submissions keep the shards balanced. The snapshot
+	// version restarts at the restored record count; a state restore
+	// swaps the whole counter object, so callers caching mining results
+	// must also drop entries from the previous counter's version line.
 	c.next.Store(uint64(total))
 	c.total.Store(int64(total))
+	c.version.Store(uint64(total))
 	return c, nil
 }

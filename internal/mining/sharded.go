@@ -35,6 +35,13 @@ type ShardedGammaCounter struct {
 	// every submit response — stays lock-free instead of sweeping all
 	// shard mutexes.
 	total atomic.Int64
+	// version is a monotonic counter-content version: it advances after
+	// every record is fully ingested into its shard, and state restore
+	// initializes it to the restored record count. Two reads returning
+	// the same version therefore bracket an interval in which no new
+	// record became visible — the invariant the service's mining-result
+	// cache is keyed on.
+	version atomic.Uint64
 }
 
 // NewShardedGammaCounter builds a counter with the given shard count;
@@ -73,6 +80,7 @@ func (c *ShardedGammaCounter) Add(rec dataset.Record) error {
 		return err
 	}
 	c.total.Add(1)
+	c.version.Add(1)
 	return nil
 }
 
@@ -86,12 +94,35 @@ func (c *ShardedGammaCounter) N() int {
 	return int(c.total.Load())
 }
 
+// Version returns the current snapshot version. The version only moves
+// forward, and it moves exactly when counter content changes, so equal
+// versions imply identical counter state (mining results computed at
+// version v remain exact answers for any later read that still observes
+// v).
+func (c *ShardedGammaCounter) Version() uint64 {
+	return c.version.Load()
+}
+
 // Snapshot folds every shard into one frozen MaterializedGammaCounter.
 // Shards are read one at a time under their own locks; a record is
 // counted in every histogram of its shard or in none, so the merged copy
 // is always a consistent view of some set of fully ingested records even
 // while submissions keep arriving.
 func (c *ShardedGammaCounter) Snapshot() *MaterializedGammaCounter {
+	snap, _ := c.SnapshotVersioned()
+	return snap
+}
+
+// SnapshotVersioned returns a merged frozen counter together with a
+// version it is valid for. The version is read BEFORE the shard fold:
+// every record ingested at or before that version is fully inside some
+// shard and therefore inside the snapshot, so snap.N() >= version is
+// guaranteed (records landing during the fold may or may not be
+// included — the snapshot is then a strictly newer, still-consistent
+// view, which only makes a cache entry keyed at the returned version
+// fresher than advertised, never staler).
+func (c *ShardedGammaCounter) SnapshotVersioned() (*MaterializedGammaCounter, uint64) {
+	version := c.version.Load()
 	first := c.shards[0]
 	merged := &MaterializedGammaCounter{
 		schema:   c.schema,
@@ -111,7 +142,7 @@ func (c *ShardedGammaCounter) Snapshot() *MaterializedGammaCounter {
 		}
 		s.mu.RUnlock()
 	}
-	return merged
+	return merged, version
 }
 
 // addInto accumulates src into dst element-wise — the histogram fold

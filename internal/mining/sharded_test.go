@@ -371,3 +371,67 @@ func TestShardedLoadRejectsBadState(t *testing.T) {
 		t.Fatal("inconsistent shard totals accepted")
 	}
 }
+
+// TestShardedSnapshotVersion pins the snapshot-version contract the
+// collection service's result cache depends on: the version advances
+// exactly once per fully ingested record, a versioned snapshot contains
+// at least every record visible at its reported version, and a state
+// restore resumes the version line at the restored count.
+func TestShardedSnapshotVersion(t *testing.T) {
+	db := buildSkewedDB(t, 500, 77)
+	sc := db.Schema
+	m, _ := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	c, err := NewShardedGammaCounter(sc, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() != 0 {
+		t.Fatalf("fresh counter version %d", c.Version())
+	}
+	for i, rec := range db.Records {
+		if err := c.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+		if c.Version() != uint64(i+1) {
+			t.Fatalf("after %d adds version %d", i+1, c.Version())
+		}
+	}
+	snap, v := c.SnapshotVersioned()
+	if v != uint64(db.N()) || snap.N() != db.N() {
+		t.Fatalf("quiescent snapshot (N=%d, v=%d), want both %d", snap.N(), v, db.N())
+	}
+
+	// Under concurrent ingestion the guarantee weakens to snap.N() >= v:
+	// the version is read before the fold, so everything visible at v is
+	// inside the snapshot, and later arrivals can only add to it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, rec := range db.Records {
+			if err := c.Add(rec); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		snap, v := c.SnapshotVersioned()
+		if uint64(snap.N()) < v {
+			t.Fatalf("snapshot N=%d below its version %d", snap.N(), v)
+		}
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadShardedGammaCounter(&buf, sc, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Version() != uint64(restored.N()) || restored.N() != 2*db.N() {
+		t.Fatalf("restored version %d, N %d", restored.Version(), restored.N())
+	}
+}

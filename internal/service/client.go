@@ -2,11 +2,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -155,7 +158,8 @@ func (c *Client) SubmitBatch(recs []dataset.Record, rng *rand.Rand) error {
 	return nil
 }
 
-// Mine queries the server's reconstructed mining model.
+// Mine queries the server's reconstructed mining model synchronously
+// (the server runs the request through its job pool and awaits it).
 func (c *Client) Mine(minsup, minconf float64, limit int) (*MineResponse, error) {
 	url := fmt.Sprintf("%s/v1/mine?minsup=%g&minconf=%g&limit=%d", c.base, minsup, minconf, limit)
 	resp, err := c.http.Get(url)
@@ -171,6 +175,102 @@ func (c *Client) Mine(minsup, minconf float64, limit int) (*MineResponse, error)
 		return nil, fmt.Errorf("%w: bad mine response: %v", ErrService, err)
 	}
 	return &mr, nil
+}
+
+// SubmitMineJob enqueues an asynchronous mining job and returns its
+// initial (queued) state. Poll with MineJob or block with AwaitMineJob.
+func (c *Client) SubmitMineJob(p MineParams) (*JobResponse, error) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/mine-jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("%w: mine-job submit returned %s", ErrService, resp.Status)
+	}
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("%w: bad mine-job response: %v", ErrService, err)
+	}
+	return &jr, nil
+}
+
+// MineJob polls one job by id; done jobs include the full result.
+func (c *Client) MineJob(id string) (*JobResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/mine-jobs/" + url.PathEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: mine-job %s returned %s", ErrService, id, resp.Status)
+	}
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("%w: bad mine-job response: %v", ErrService, err)
+	}
+	return &jr, nil
+}
+
+// MineJobs lists all retained jobs (without result payloads).
+func (c *Client) MineJobs() ([]JobResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/mine-jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: mine-job list returned %s", ErrService, resp.Status)
+	}
+	var jrs []JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jrs); err != nil {
+		return nil, fmt.Errorf("%w: bad mine-job list: %v", ErrService, err)
+	}
+	return jrs, nil
+}
+
+// AwaitMineJob polls a job until it reaches a terminal state. A done
+// job is returned with its result; a failed job returns the server's
+// error. The poll interval defaults to 50ms when non-positive.
+func (c *Client) AwaitMineJob(ctx context.Context, id string, poll time.Duration) (*JobResponse, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		jr, err := c.MineJob(id)
+		if err != nil {
+			return nil, err
+		}
+		switch jr.State {
+		case JobDone:
+			return jr, nil
+		case JobFailed:
+			return jr, fmt.Errorf("%w: job %s failed: %s", ErrService, id, jr.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// MineAsync is the submit-then-await convenience: it enqueues a job and
+// polls it to completion, returning the mining result.
+func (c *Client) MineAsync(ctx context.Context, p MineParams) (*MineResponse, error) {
+	jr, err := c.SubmitMineJob(p)
+	if err != nil {
+		return nil, err
+	}
+	done, err := c.AwaitMineJob(ctx, jr.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	return done.Result, nil
 }
 
 // Stats queries the collection state.

@@ -18,19 +18,25 @@ import (
 // histograms of perturbed submissions. No raw records ever existed on
 // the server, so none can leak from a state file.
 func (s *Server) SaveState(w io.Writer) error {
-	return s.counter.Save(w)
+	return s.ctr().Save(w)
 }
 
 // LoadState replaces the server's counter with a previously saved state.
 // The state must have been saved for the same schema and privacy
 // contract; the shard count is the live server's, not the file's, so
-// state survives -shards changes across restarts.
+// state survives -shards changes across restarts. The swap resets the
+// snapshot-version line, so every cached mining result is invalidated.
 func (s *Server) LoadState(r io.Reader) error {
-	counter, err := mining.LoadShardedGammaCounter(r, s.schema, s.matrix, s.counter.Shards())
+	counter, err := mining.LoadShardedGammaCounter(r, s.schema, s.matrix, s.Shards())
 	if err != nil {
 		return err
 	}
-	s.counter = counter
+	// Invalidate FIRST: once the cleared cache and bumped generation are
+	// in place, the new (counter, generation) pair is published as one
+	// atomic unit, so no mining worker can pair the restored counter
+	// with a pre-restore cache entry (see executeMine).
+	gen := s.jobs.invalidateCache()
+	s.counter.Store(&counterRef{counter: counter, gen: gen})
 	return nil
 }
 
@@ -57,6 +63,8 @@ func (s *Server) PersistStateFile(path string) error {
 
 // NewServerWithState builds a server, restoring state from path when the
 // file exists. A missing file is not an error — the server starts empty.
+// On a failed restore the already-started mining worker pool is shut
+// down before returning, so retry loops don't leak goroutines.
 func NewServerWithState(schema *dataset.Schema, spec core.PrivacySpec, path string, opts ...Option) (*Server, error) {
 	srv, err := NewServer(schema, spec, opts...)
 	if err != nil {
@@ -67,10 +75,12 @@ func NewServerWithState(schema *dataset.Schema, spec core.PrivacySpec, path stri
 		return srv, nil
 	}
 	if err != nil {
+		srv.Close()
 		return nil, err
 	}
 	defer f.Close()
 	if err := srv.LoadState(f); err != nil {
+		srv.Close()
 		return nil, fmt.Errorf("restoring state from %s: %w", path, err)
 	}
 	return srv, nil

@@ -13,8 +13,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -24,6 +27,10 @@ import (
 // ErrService is returned for invalid service configuration or requests.
 var ErrService = errors.New("service: invalid input")
 
+// errNoSubmissions distinguishes "nothing collected yet" (409) from
+// malformed requests (400) across the sync and job mining paths.
+var errNoSubmissions = fmt.Errorf("%w: no submissions yet", ErrService)
+
 // Server is the miner-side endpoint. It never sees unperturbed data: it
 // ingests whatever (already-perturbed) records clients submit into an
 // incrementally materialized, lock-striped counter and answers mining
@@ -31,19 +38,42 @@ var ErrService = errors.New("service: invalid input")
 // submissions. Concurrent submit handlers land on different counter
 // shards, so ingestion scales with cores instead of serializing on one
 // mutex.
+//
+// Mining is asynchronous: requests become jobs executed by a bounded
+// worker pool over snapshot-versioned results, so heavy miner traffic is
+// throttled to -mine-workers concurrent Apriori runs and repeated mines
+// of an unchanged collection are served from cache (see jobs.go). The
+// synchronous /v1/mine endpoint is a thin submit-and-await wrapper over
+// the same pool.
 type Server struct {
-	schema  *dataset.Schema
-	spec    core.PrivacySpec
-	gamma   float64
-	matrix  core.UniformMatrix
+	schema *dataset.Schema
+	spec   core.PrivacySpec
+	gamma  float64
+	matrix core.UniformMatrix
+	// counter is swapped wholesale on state restore while submit and
+	// mining handlers read it concurrently, hence the atomic pointer.
+	// The counter travels together with its cache generation so a
+	// mining worker always sees a consistent (counter, generation) pair
+	// — read separately, a worker could pair the NEW counter with the
+	// OLD generation (or vice versa) around a restore and serve or
+	// store a cache entry from the wrong counter's version line.
+	counter atomic.Pointer[counterRef]
+	jobs    *jobStore
+}
+
+// counterRef pairs a counter with the cache generation it belongs to.
+type counterRef struct {
 	counter *mining.ShardedGammaCounter
+	gen     uint64
 }
 
 // Option configures a Server.
 type Option func(*serverConfig)
 
 type serverConfig struct {
-	shards int
+	shards      int
+	mineWorkers int
+	jobTTL      time.Duration
 }
 
 // WithShards sets the ingestion shard count. Values <= 0 (and the
@@ -52,7 +82,22 @@ func WithShards(n int) Option {
 	return func(c *serverConfig) { c.shards = n }
 }
 
-// NewServer configures a server for one schema and privacy contract.
+// WithMineWorkers bounds the number of concurrently executing mining
+// jobs. Values <= 0 (and the default) mean 2: mining is the most
+// expensive operation in the system, and the worker pool is what keeps
+// a burst of miners from starving ingestion of cores.
+func WithMineWorkers(n int) Option {
+	return func(c *serverConfig) { c.mineWorkers = n }
+}
+
+// WithJobTTL sets how long finished mining jobs remain pollable before
+// eviction. Values <= 0 (and the default) mean 15 minutes.
+func WithJobTTL(d time.Duration) Option {
+	return func(c *serverConfig) { c.jobTTL = d }
+}
+
+// NewServer configures a server for one schema and privacy contract and
+// starts its mining worker pool. Call Close when done with the server.
 func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*Server, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("%w: nil schema", ErrService)
@@ -73,14 +118,34 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Server{schema: schema, spec: spec, gamma: gamma, matrix: matrix, counter: counter}, nil
+	s := &Server{schema: schema, spec: spec, gamma: gamma, matrix: matrix}
+	s.counter.Store(&counterRef{counter: counter})
+	s.jobs = newJobStore(cfg.mineWorkers, cfg.jobTTL, s.executeMine)
+	return s, nil
 }
 
+// Close stops the mining worker pool, failing any still-queued jobs.
+func (s *Server) Close() { s.jobs.close() }
+
+// ctr returns the live counter.
+func (s *Server) ctr() *mining.ShardedGammaCounter { return s.counter.Load().counter }
+
 // N returns the number of submissions received so far.
-func (s *Server) N() int { return s.counter.N() }
+func (s *Server) N() int { return s.ctr().N() }
 
 // Shards returns the ingestion shard count.
-func (s *Server) Shards() int { return s.counter.Shards() }
+func (s *Server) Shards() int { return s.ctr().Shards() }
+
+// SnapshotVersion returns the counter's current snapshot version.
+func (s *Server) SnapshotVersion() uint64 { return s.ctr().Version() }
+
+// MineWorkers returns the size of the mining worker pool.
+func (s *Server) MineWorkers() int { return s.jobs.workers }
+
+// AprioriRuns returns how many times a mining job actually executed
+// Apriori (i.e. cache misses) — the observable the cache-correctness
+// tests assert on.
+func (s *Server) AprioriRuns() int64 { return s.jobs.runs.Load() }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -90,6 +155,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/submit-batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/mine-jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/mine-jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/mine-jobs/{id}", s.handleGetJob)
 	return mux
 }
 
@@ -160,11 +228,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.counter.Add(rec); err != nil {
+	if err := s.ctr().Add(rec); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.counter.N()})
+	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.N()})
 }
 
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
@@ -182,13 +250,14 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		recs = append(recs, rec)
 	}
+	counter := s.ctr()
 	for _, rec := range recs {
-		if err := s.counter.Add(rec); err != nil {
+		if err := counter.Add(rec); err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.counter.N()})
+	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.N()})
 }
 
 // StatsResponse summarizes the collection state.
@@ -198,6 +267,13 @@ type StatsResponse struct {
 	ConditionNumber float64 `json:"condition_number"`
 	DomainSize      int     `json:"domain_size"`
 	Shards          int     `json:"shards"`
+	// SnapshotVersion is the counter's current content version — mining
+	// results stamped with the same version are exact for this state.
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	// MineWorkers and MineRuns describe the mining pool: pool size and
+	// the number of Apriori executions so far (cache hits excluded).
+	MineWorkers int   `json:"mine_workers"`
+	MineRuns    int64 `json:"mine_runs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -207,16 +283,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ConditionNumber: s.matrix.Cond(),
 		DomainSize:      s.schema.DomainSize(),
 		Shards:          s.Shards(),
+		SnapshotVersion: s.SnapshotVersion(),
+		MineWorkers:     s.MineWorkers(),
+		MineRuns:        s.AprioriRuns(),
 	})
 }
 
 // MineResponse is the reconstructed mining model.
 type MineResponse struct {
-	Records    int           `json:"records"`
-	MinSupport float64       `json:"min_support"`
-	Counts     []int         `json:"counts_by_length"`
-	Itemsets   []ItemsetJSON `json:"itemsets"`
-	Rules      []RuleJSON    `json:"rules,omitempty"`
+	Records    int     `json:"records"`
+	MinSupport float64 `json:"min_support"`
+	// SnapshotVersion is the counter version this model is exact for;
+	// Cached reports that the frequent itemsets came from the
+	// version-keyed result cache rather than a fresh Apriori run.
+	SnapshotVersion uint64        `json:"snapshot_version"`
+	Cached          bool          `json:"cached,omitempty"`
+	Counts          []int         `json:"counts_by_length"`
+	Itemsets        []ItemsetJSON `json:"itemsets"`
+	Rules           []RuleJSON    `json:"rules,omitempty"`
 }
 
 // ItemsetJSON is one frequent itemset on the wire.
@@ -233,45 +317,180 @@ type RuleJSON struct {
 	Confidence float64           `json:"confidence"`
 }
 
-func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
-	minsup, err := queryFloat(r, "minsup", 0.02)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+// mineParamsFromQuery parses the synchronous endpoint's query string.
+func mineParamsFromQuery(r *http.Request) (MineParams, error) {
+	var p MineParams
+	var err error
+	if p.MinSupport, err = queryFloat(r, "minsup", defaultMinSupport); err != nil {
+		return p, err
 	}
-	minconf, err := queryFloat(r, "minconf", 0)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+	if p.MinConf, err = queryFloat(r, "minconf", 0); err != nil {
+		return p, err
 	}
-	limit, err := queryInt(r, "limit", 100)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+	if p.Limit, err = queryInt(r, "limit", defaultMineLimit); err != nil {
+		return p, err
 	}
+	if p.MaxLen, err = queryInt(r, "maxlen", 0); err != nil {
+		return p, err
+	}
+	// Defaults were applied for ABSENT parameters only (above), so an
+	// explicit minsup=0 is rejected and an explicit limit=0 still means
+	// "no itemsets in the response" — the endpoint's pre-job semantics.
+	return p, p.validate()
+}
 
+// handleMine is the synchronous mining endpoint, kept as a thin wrapper
+// that submits a job and awaits it: synchronous miners share the bounded
+// worker pool (and the result cache) with asynchronous ones, so a burst
+// of /v1/mine traffic can no longer monopolize the machine.
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	p, err := mineParamsFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.N() == 0 {
+		httpError(w, http.StatusConflict, errNoSubmissions)
+		return
+	}
+	j, err := s.jobs.submit(p)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err := j.await(r.Context()); err != nil {
+		// Client went away; the job still completes and stays pollable.
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("%w: canceled while awaiting job %s", ErrService, j.id))
+		return
+	}
+	resp := s.jobs.snapshot(j, true)
+	switch resp.State {
+	case JobDone:
+		writeJSON(w, http.StatusOK, resp.Result)
+	default:
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(j.err, errNoSubmissions):
+			status = http.StatusConflict
+		case errors.Is(j.err, errServerClosed):
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, j.err)
+	}
+}
+
+// handleSubmitJob enqueues an asynchronous mining job. The body is an
+// optional JSON MineParams object; an empty body means defaults.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var p MineParams
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&p); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+		return
+	}
+	// In the JSON API an absent field decodes to zero, so zero values
+	// mean defaults here (documented in docs/http-api.md).
+	p.applyDefaults()
+	if err := p.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.jobs.submit(p)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobs.snapshot(j, false))
+}
+
+// handleGetJob reports one job, including its result when done. Unknown
+// and TTL-evicted ids both return 404 — an evicted job is
+// indistinguishable from one that never existed.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("%w: unknown job %q", ErrService, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.snapshot(j, true))
+}
+
+// handleListJobs reports all retained jobs in submission order, without
+// result payloads (poll the individual job for those).
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	out := make([]JobResponse, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, s.jobs.snapshot(j, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// executeMine runs one mining request on a worker: serve from the
+// snapshot-versioned cache when the counter hasn't changed since an
+// identical computation, otherwise snapshot, run Apriori, and cache the
+// result under the snapshot's version. Returns the rendered response,
+// the version it is exact for, and whether it was a cache hit.
+func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) {
+	// One atomic load yields a consistent (counter, generation) pair;
+	// LoadState clears the cache and bumps the generation BEFORE
+	// publishing the new pair, so a worker still holding the old pair
+	// can only touch old-generation cache keys — its results linearize
+	// before the restore and can never poison the new counter's version
+	// line (which restarts at the restored count and would otherwise
+	// collide with the old counter's cached versions).
+	ref := s.counter.Load()
+	counter, gen := ref.counter, ref.gen
+	key := mineKey{gen: gen, version: counter.Version(), minsup: p.MinSupport, scheme: mineScheme, maxlen: p.MaxLen}
+	if e := s.jobs.cacheGet(key); e != nil {
+		resp, err := s.renderMine(e.result, e.records, p)
+		if err != nil {
+			return nil, key.version, false, err
+		}
+		resp.SnapshotVersion = key.version
+		resp.Cached = true
+		return resp, key.version, true, nil
+	}
 	// Mine a frozen snapshot so every Apriori pass sees one consistent
 	// record count even while submissions keep arriving.
-	snapshot := s.counter.Snapshot()
+	snapshot, version := counter.SnapshotVersioned()
 	n := snapshot.N()
 	if n == 0 {
-		httpError(w, http.StatusConflict, fmt.Errorf("%w: no submissions yet", ErrService))
-		return
+		return nil, version, false, errNoSubmissions
 	}
-	res, err := mining.Apriori(snapshot, minsup)
+	res, err := mining.AprioriWithOptions(snapshot, p.MinSupport, mining.Options{CandidateRelaxation: 1, MaxLen: p.MaxLen})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, version, false, err
 	}
-	resp := MineResponse{
-		Records:    n,
-		MinSupport: minsup,
+	s.jobs.runs.Add(1)
+	// Adopt the canonical entry: if another worker raced us to the same
+	// key (both snapshots valid for this version, possibly with a few
+	// more folded-in records each), the first store wins and every job
+	// reporting this (generation, version, params) returns its result.
+	entry := s.jobs.cachePut(mineKey{gen: gen, version: version, minsup: p.MinSupport, scheme: mineScheme, maxlen: p.MaxLen},
+		&cacheEntry{records: n, result: res})
+	resp, err := s.renderMine(entry.result, entry.records, p)
+	if err != nil {
+		return nil, version, false, err
+	}
+	resp.SnapshotVersion = version
+	return resp, version, false, nil
+}
+
+// renderMine converts a (possibly cached, therefore read-only) mining
+// result into the wire response: itemset truncation and rule generation
+// are per-request post-processing, so one cached Apriori run serves any
+// combination of minconf and limit.
+func (s *Server) renderMine(res *mining.Result, records int, p MineParams) (*MineResponse, error) {
+	resp := &MineResponse{
+		Records:    records,
+		MinSupport: p.MinSupport,
 		Counts:     res.Counts(),
 	}
 	emitted := 0
 	for _, level := range res.ByLength {
 		for _, fi := range level {
-			if emitted >= limit {
+			if emitted >= p.Limit {
 				break
 			}
 			resp.Itemsets = append(resp.Itemsets, ItemsetJSON{
@@ -281,14 +500,13 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			emitted++
 		}
 	}
-	if minconf > 0 {
-		rules, err := mining.GenerateRules(res, minconf)
+	if p.MinConf > 0 {
+		rules, err := mining.GenerateRules(res, p.MinConf)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
+			return nil, err
 		}
 		for i, rule := range rules {
-			if i >= limit {
+			if i >= p.Limit {
 				break
 			}
 			resp.Rules = append(resp.Rules, RuleJSON{
@@ -299,7 +517,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func (s *Server) itemsToJSON(set mining.Itemset) map[string]string {

@@ -28,12 +28,13 @@ func serviceSchema(t *testing.T) *dataset.Schema {
 	return s
 }
 
-func startServer(t *testing.T) (*Server, *httptest.Server) {
+func startServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
 	t.Helper()
-	srv, err := NewServer(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50})
+	srv, err := NewServer(serviceSchema(t), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -255,6 +256,7 @@ func TestServerShardsOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	if srv.Shards() != 3 {
 		t.Fatalf("shards = %d, want 3", srv.Shards())
 	}
@@ -280,6 +282,7 @@ func TestServerShardsOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer def.Close()
 	if def.Shards() < 1 {
 		t.Fatalf("default shards = %d", def.Shards())
 	}
@@ -308,6 +311,7 @@ func TestServerStateAcrossShardCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer restored.Close()
 	if err := restored.LoadState(&buf); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// TestStressConcurrentIngestAndMineJobs is the mixed-workload race test:
+// several clients stream submit-batch ingestion while several miners
+// submit jobs and poll them to completion, all against one server. Run
+// under -race in CI. Beyond "no crash, no race", it asserts that every
+// completed job is internally consistent with the snapshot version it
+// reports:
+//
+//   - result.Records >= result.SnapshotVersion — the version is read
+//     before the shard fold, so everything visible at that version is in
+//     the mined snapshot;
+//   - result.Records <= final ingested total — a snapshot can never
+//     contain records that were never submitted;
+//   - two results for the same (version, params) are identical — the
+//     cache may substitute one for the other, so divergence would be a
+//     correctness bug, not a tolerance issue.
+func TestStressConcurrentIngestAndMineJobs(t *testing.T) {
+	srv, ts := startServer(t, WithShards(4), WithMineWorkers(3))
+
+	const (
+		submitters  = 4
+		batches     = 8
+		batchSize   = 50
+		miners      = 3
+		jobsPer     = 6
+		seedRecords = 100
+	)
+	// Seed so even the first jobs have data.
+	seedSkewed(t, ts.URL, ts.Client(), seedRecords, 40)
+	finalTotal := seedRecords + submitters*batches*batchSize
+
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters+miners)
+
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+			if err != nil {
+				errs <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for b := 0; b < batches; b++ {
+				recs := make([]dataset.Record, batchSize)
+				for i := range recs {
+					recs[i] = dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}
+				}
+				if err := client.SubmitBatch(recs, rng); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(41 + w))
+	}
+
+	type jobOutcome struct {
+		version uint64
+		params  MineParams
+		records int
+		counts  []int
+	}
+	outcomes := make(chan jobOutcome, miners*jobsPer)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for w := 0; w < miners; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+			if err != nil {
+				errs <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			// Two alternating parameter sets exercise both cache hits
+			// and misses while ingestion keeps bumping the version.
+			paramSets := []MineParams{
+				{MinSupport: 0.05, Limit: 10000},
+				{MinSupport: 0.1, Limit: 10000, MaxLen: 2},
+			}
+			for j := 0; j < jobsPer; j++ {
+				p := paramSets[rng.Intn(len(paramSets))]
+				jr, err := client.SubmitMineJob(p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				done, err := client.AwaitMineJob(ctx, jr.ID, time.Millisecond)
+				if err != nil {
+					errs <- err
+					return
+				}
+				outcomes <- jobOutcome{
+					version: done.SnapshotVersion,
+					params:  done.Params,
+					records: done.Result.Records,
+					counts:  done.Result.Counts,
+				}
+			}
+		}(int64(51 + w))
+	}
+
+	wg.Wait()
+	close(errs)
+	close(outcomes)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.N() != finalTotal {
+		t.Fatalf("ingested %d records, want %d", srv.N(), finalTotal)
+	}
+
+	type resultKey struct {
+		version uint64
+		minsup  float64
+		maxlen  int
+	}
+	seen := make(map[resultKey]jobOutcome)
+	count := 0
+	for o := range outcomes {
+		count++
+		if uint64(o.records) < o.version {
+			t.Fatalf("job mined %d records but reports version %d", o.records, o.version)
+		}
+		if o.records > finalTotal {
+			t.Fatalf("job mined %d records, only %d ever submitted", o.records, finalTotal)
+		}
+		key := resultKey{version: o.version, minsup: o.params.MinSupport, maxlen: o.params.MaxLen}
+		if prev, ok := seen[key]; ok {
+			if prev.records != o.records || len(prev.counts) != len(o.counts) {
+				t.Fatalf("same (version, params) produced different results: %+v vs %+v", prev, o)
+			}
+			for i := range prev.counts {
+				if prev.counts[i] != o.counts[i] {
+					t.Fatalf("same (version, params) produced different counts: %v vs %v", prev.counts, o.counts)
+				}
+			}
+		} else {
+			seen[key] = o
+		}
+	}
+	if count != miners*jobsPer {
+		t.Fatalf("collected %d outcomes, want %d", count, miners*jobsPer)
+	}
+}
