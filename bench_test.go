@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/linalg"
 	"repro/internal/mining"
+	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/stats"
 )
@@ -667,6 +668,90 @@ func BenchmarkServiceMineUncached(b *testing.B) {
 		if _, err := client.Mine(0.05, 0, 100); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Interactive queries: counter-backed vs record-scan estimation ---
+
+// benchQueryData builds a perturbed CENSUS-like collection of n records
+// plus a batch of 32 conjunctive filters (arity 1–3).
+func benchQueryData(b *testing.B, n int) (*dataset.Database, core.UniformMatrix, []mining.Itemset) {
+	b.Helper()
+	sc := dataset.CensusSchema()
+	db, err := dataset.GenerateCensus(n, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewGammaDiagonal(sc.DomainSize(), 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewGammaPerturber(db.Schema, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdb, err := core.PerturbDatabase(db, p, rand.New(rand.NewSource(22)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	filters := make([]mining.Itemset, 32)
+	for i := range filters {
+		arity := 1 + rng.Intn(3)
+		perm := rng.Perm(db.Schema.M())[:arity]
+		items := make([]mining.Item, arity)
+		for k, j := range perm {
+			items[k] = mining.Item{Attr: j, Value: rng.Intn(db.Schema.Attrs[j].Cardinality())}
+		}
+		f, err := mining.NewItemset(items...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		filters[i] = f
+	}
+	return pdb, m, filters
+}
+
+// BenchmarkQueryCounterVsScan compares one /v1/query-sized batch (32
+// filters) answered by the record-scan engine (O(N) per filter) against
+// the counter-backed engine (O(#filters) histogram lookups), at two
+// collection sizes. The scan path scales with N; the counter path does
+// not — that gap is why the service answers interactive queries from
+// the live counter.
+func BenchmarkQueryCounterVsScan(b *testing.B) {
+	for _, n := range []int{5000, 50000} {
+		pdb, m, filters := benchQueryData(b, n)
+		b.Run(fmt.Sprintf("scan/n=%d", n), func(b *testing.B) {
+			eng, err := query.NewEngine(pdb, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.CountAll(filters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("counter/n=%d", n), func(b *testing.B) {
+			ctr, err := mining.NewShardedGammaCounter(pdb.Schema, m, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ctr.AddDatabase(pdb); err != nil {
+				b.Fatal(err)
+			}
+			eng, err := query.NewCounterEngine(ctr, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.CountAll(filters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

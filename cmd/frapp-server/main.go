@@ -1,12 +1,15 @@
 // Command frapp-server runs the miner-side FRAPP collection service:
-// clients fetch /v1/schema, perturb locally, POST /v1/submit, and anyone
-// can query /v1/mine for the reconstructed model.
+// clients fetch /v1/schema, perturb locally, POST /v1/submit, anyone
+// can query /v1/mine for the reconstructed model, and POST /v1/query
+// answers interactive filter-count estimates with confidence intervals
+// straight from the live counter.
 //
 // Usage:
 //
 //	frapp-server [-addr :8080] [-schema census|health]
 //	             [-rho1 0.05] [-rho2 0.50] [-state state.gob]
 //	             [-shards 0] [-mine-workers 2] [-job-ttl 15m]
+//	             [-query-limit 1024]
 //
 // -shards stripes the ingestion counter so concurrent submissions never
 // contend on one lock; 0 (the default) means one shard per core.
@@ -14,6 +17,7 @@
 // sync /v1/mine alike) execute concurrently, and -job-ttl controls how
 // long finished jobs stay pollable; unchanged collections are served
 // from the snapshot-versioned result cache without re-running Apriori.
+// -query-limit caps the filters of one /v1/query batch.
 //
 // With -state, the accumulated (perturbed) counts are restored at start
 // and persisted atomically on SIGINT/SIGTERM, so a restart loses no
@@ -48,11 +52,13 @@ func main() {
 		shards     = flag.Int("shards", 0, "ingestion shards (0 = one per core)")
 		workers    = flag.Int("mine-workers", 0, "concurrent mining jobs (0 = default 2)")
 		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished mining jobs (0 = default 15m)")
+		queryLimit = flag.Int("query-limit", 0, "max filters per /v1/query batch (0 = default 1024)")
 	)
 	flag.Parse()
 	cfg := serverConfig{
 		addr: *addr, schema: *schemaName, rho1: *rho1, rho2: *rho2,
 		state: *state, shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
+		queryLimit: *queryLimit,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "frapp-server:", err)
@@ -69,6 +75,7 @@ type serverConfig struct {
 	shards      int
 	mineWorkers int
 	jobTTL      time.Duration
+	queryLimit  int
 }
 
 func run(cfg serverConfig) error {
@@ -86,6 +93,7 @@ func run(cfg serverConfig) error {
 		service.WithShards(cfg.shards),
 		service.WithMineWorkers(cfg.mineWorkers),
 		service.WithJobTTL(cfg.jobTTL),
+		service.WithQueryLimit(cfg.queryLimit),
 	}
 
 	var (

@@ -47,6 +47,15 @@ type (
 	MineParams = service.MineParams
 	// MineJobResponse is the wire form of an asynchronous mining job.
 	MineJobResponse = service.JobResponse
+	// QueryFilter is one attribute=category conjunction on the query
+	// wire (attribute names to category names; empty matches all).
+	QueryFilter = service.QueryFilter
+	// QueryResponse answers one POST /v1/query batch: estimates in
+	// filter order, all based on one record count, stamped with the
+	// snapshot version they are exact for.
+	QueryResponse = service.QueryResponse
+	// QueryEstimateJSON is one reconstructed count estimate on the wire.
+	QueryEstimateJSON = service.QueryEstimate
 )
 
 var (
@@ -65,6 +74,8 @@ var (
 	WithMineWorkers = service.WithMineWorkers
 	// WithJobTTL sets the retention of finished mining jobs.
 	WithJobTTL = service.WithJobTTL
+	// WithQueryLimit caps the filters of one /v1/query batch.
+	WithQueryLimit = service.WithQueryLimit
 )
 
 // Discretization (see internal/dataset).
@@ -124,12 +135,31 @@ var PerturbDatabaseParallel = core.PerturbDatabaseParallel
 
 // Interactive queries (see internal/query).
 type (
-	// QueryEngine answers filter-count queries over a perturbed database
-	// with variance-based confidence intervals.
+	// QueryEngine answers filter-count queries by scanning a perturbed
+	// database, with variance-based confidence intervals.
 	QueryEngine = query.Engine
+	// CounterQueryEngine answers the same queries from an incrementally
+	// materialized counter in O(#filters) histogram lookups — the
+	// collection service's live /v1/query path, usable directly over any
+	// ShardedGammaCounter or MaterializedCounter.
+	CounterQueryEngine = query.CounterEngine
+	// PerturbedSupportCounter is the counter surface the counter-backed
+	// query engine needs: raw perturbed match counts plus the record
+	// count of the same sweep.
+	PerturbedSupportCounter = query.PerturbedCounter
 	// CountEstimate is a reconstructed count with its 95% CI.
 	CountEstimate = query.Estimate
 )
 
-// NewQueryEngine builds the engine for one perturbed database.
-var NewQueryEngine = query.NewEngine
+var (
+	// NewQueryEngine builds the record-scan engine for one perturbed
+	// database.
+	NewQueryEngine = query.NewEngine
+	// NewCounterQueryEngine builds the counter-backed engine over a live
+	// counter.
+	NewCounterQueryEngine = query.NewCounterEngine
+	// ReconstructCountEstimate is the shared estimator core: marginal
+	// inversion of a perturbed match count with standard error and 95%
+	// z-interval.
+	ReconstructCountEstimate = query.Reconstruct
+)

@@ -201,7 +201,9 @@ type MaterializedGammaCounter = mining.MaterializedGammaCounter
 // monotonic snapshot version (Version, SnapshotVersioned) that advances
 // with every ingested record, letting callers cache mining results for
 // as long as the counter content is provably unchanged — the mechanism
-// behind the collection service's asynchronous mining jobs.
+// behind the collection service's asynchronous mining jobs — and
+// answers raw perturbed match counts (PerturbedSupports) for the
+// counter-backed interactive query engine without scanning records.
 type ShardedGammaCounter = mining.ShardedGammaCounter
 
 // MaskCounter reconstructs supports under MASK perturbation.

@@ -141,6 +141,49 @@ func (c *MaterializedGammaCounter) Snapshot() *MaterializedGammaCounter {
 	return cp
 }
 
+// route validates a candidate and computes its (subset mask, histogram
+// index) — the single routing used by the reconstructed and raw support
+// paths, so the two can never diverge.
+func (c *MaterializedGammaCounter) route(cand Itemset) (mask, idx int, err error) {
+	// Validate enforces canonical strictly-increasing attribute order,
+	// so the mask cannot alias two items; the OnesCount check is a
+	// belt-and-suspenders guard.
+	if err := cand.Validate(c.schema); err != nil {
+		return 0, 0, err
+	}
+	for _, it := range cand {
+		mask |= 1 << uint(it.Attr)
+		idx = idx*c.schema.Attrs[it.Attr].Cardinality() + it.Value
+	}
+	if bits.OnesCount(uint(mask)) != cand.Len() {
+		return 0, 0, fmt.Errorf("%w: duplicate attribute in candidate %s", ErrMining, cand.Key())
+	}
+	return mask, idx, nil
+}
+
+// PerturbedSupports returns each candidate's RAW perturbed match count
+// Y_L (the histogram cell before reconstruction) plus the record count
+// N read under the same lock — the consistent (Y_L, N) pairs the
+// counter-backed query estimator needs. The empty itemset is supported
+// by every record, so its Y_L is N itself.
+func (c *MaterializedGammaCounter) PerturbedSupports(candidates []Itemset) ([]float64, int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]float64, len(candidates))
+	for i, cand := range candidates {
+		mask, idx, err := c.route(cand)
+		if err != nil {
+			return nil, 0, err
+		}
+		if mask == 0 {
+			out[i] = float64(c.n)
+			continue
+		}
+		out[i] = c.hists[mask][idx]
+	}
+	return out, c.n, nil
+}
+
 // Supports answers candidates from the materialized histograms with the
 // Eq. 28 closed-form reconstruction.
 func (c *MaterializedGammaCounter) Supports(candidates []Itemset) ([]float64, error) {
@@ -149,23 +192,13 @@ func (c *MaterializedGammaCounter) Supports(candidates []Itemset) ([]float64, er
 	out := make([]float64, len(candidates))
 	n := float64(c.n)
 	for i, cand := range candidates {
-		if err := cand.Validate(c.schema); err != nil {
+		mask, idx, err := c.route(cand)
+		if err != nil {
 			return nil, err
-		}
-		mask := 0
-		for _, it := range cand {
-			mask |= 1 << uint(it.Attr)
-		}
-		if bits.OnesCount(uint(mask)) != cand.Len() {
-			return nil, fmt.Errorf("%w: duplicate attribute in candidate %s", ErrMining, cand.Key())
 		}
 		marg, err := c.matrix.Marginal(c.subSizes[mask])
 		if err != nil {
 			return nil, err
-		}
-		idx := 0
-		for _, it := range cand {
-			idx = idx*c.schema.Attrs[it.Attr].Cardinality() + it.Value
 		}
 		out[i] = (c.hists[mask][idx] - marg.Off*n) / (marg.Diag - marg.Off)
 	}

@@ -160,15 +160,11 @@ type shardedCandidate struct {
 	idx  int
 }
 
-// Supports merges only the subset histograms the candidate batch touches
-// and evaluates the Eq. 28 closed form across a worker pool. Candidate
+// routeCandidates validates the batch and computes each candidate's
+// (subset mask, histogram index) across a worker pool — candidate
 // batches come from Apriori passes, which can be thousands of itemsets
-// wide — both the validation/routing pass and the reconstruction pass
-// split the batch into contiguous worker spans.
-func (c *ShardedGammaCounter) Supports(candidates []Itemset) ([]float64, error) {
-	if len(candidates) == 0 {
-		return nil, nil
-	}
+// wide.
+func (c *ShardedGammaCounter) routeCandidates(candidates []Itemset) ([]shardedCandidate, error) {
 	routed := make([]shardedCandidate, len(candidates))
 	if err := c.forEachSpan(len(candidates), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
@@ -190,13 +186,19 @@ func (c *ShardedGammaCounter) Supports(candidates []Itemset) ([]float64, error) 
 	}); err != nil {
 		return nil, err
 	}
+	return routed, nil
+}
 
-	// Merge the touched masks across shards, one shard lock at a time.
-	// Shard-local (n, hists) pairs are internally consistent, so their
-	// sum reconstructs supports for a valid record set.
+// mergeCounts merges only the subset histograms the routed batch
+// touches, one shard lock at a time, and returns each candidate's raw
+// perturbed match count Y_L plus the merged record count N of the same
+// sweep. Shard-local (n, hists) pairs are internally consistent, so
+// their sum reconstructs counts for a valid record set. Mask 0 (the
+// empty itemset) is supported by every record, so its Y_L is N itself.
+func (c *ShardedGammaCounter) mergeCounts(routed []shardedCandidate) ([]float64, int) {
 	merged := make(map[int][]float64)
 	for _, rc := range routed {
-		if merged[rc.mask] == nil {
+		if rc.mask != 0 && merged[rc.mask] == nil {
 			merged[rc.mask] = make([]float64, c.shards[0].subSizes[rc.mask])
 		}
 	}
@@ -209,14 +211,43 @@ func (c *ShardedGammaCounter) Supports(candidates []Itemset) ([]float64, error) 
 		}
 		s.mu.RUnlock()
 	}
+	ys := make([]float64, len(routed))
+	for i, rc := range routed {
+		if rc.mask == 0 {
+			ys[i] = float64(n)
+			continue
+		}
+		ys[i] = merged[rc.mask][rc.idx]
+	}
+	return ys, n
+}
 
-	marginals := make(map[int]core.UniformMatrix, len(merged))
-	for mask := range merged {
-		marg, err := c.matrix.Marginal(c.shards[0].subSizes[mask])
+// Supports merges only the subset histograms the candidate batch touches
+// and evaluates the Eq. 28 closed form across a worker pool. The empty
+// itemset is answered exactly (every record supports it).
+func (c *ShardedGammaCounter) Supports(candidates []Itemset) ([]float64, error) {
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	routed, err := c.routeCandidates(candidates)
+	if err != nil {
+		return nil, err
+	}
+	ys, n := c.mergeCounts(routed)
+
+	marginals := make(map[int]core.UniformMatrix)
+	for _, rc := range routed {
+		if rc.mask == 0 {
+			continue
+		}
+		if _, ok := marginals[rc.mask]; ok {
+			continue
+		}
+		marg, err := c.matrix.Marginal(c.shards[0].subSizes[rc.mask])
 		if err != nil {
 			return nil, err
 		}
-		marginals[mask] = marg
+		marginals[rc.mask] = marg
 	}
 
 	out := make([]float64, len(candidates))
@@ -224,14 +255,37 @@ func (c *ShardedGammaCounter) Supports(candidates []Itemset) ([]float64, error) 
 	if err := c.forEachSpan(len(candidates), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			rc := routed[i]
+			if rc.mask == 0 {
+				out[i] = ys[i] // exact, no reconstruction noise
+				continue
+			}
 			marg := marginals[rc.mask]
-			out[i] = (merged[rc.mask][rc.idx] - marg.Off*fn) / (marg.Diag - marg.Off)
+			out[i] = (ys[i] - marg.Off*fn) / (marg.Diag - marg.Off)
 		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// PerturbedSupports returns each candidate's RAW perturbed match count
+// Y_L — the histogram cell before any reconstruction — together with
+// the record count N observed in the same shard sweep, so (Y_L, N)
+// pairs are mutually consistent. This is the substrate of the
+// counter-backed interactive query path (internal/query.CounterEngine),
+// which needs Y_L rather than the reconstructed support because the
+// estimator's standard error is a function of Y_L/N.
+func (c *ShardedGammaCounter) PerturbedSupports(candidates []Itemset) ([]float64, int, error) {
+	if len(candidates) == 0 {
+		return nil, c.N(), nil
+	}
+	routed, err := c.routeCandidates(candidates)
+	if err != nil {
+		return nil, 0, err
+	}
+	ys, n := c.mergeCounts(routed)
+	return ys, n, nil
 }
 
 // forEachSpan runs fn over contiguous spans of [0, n) on a worker pool

@@ -1,17 +1,22 @@
 // Package query provides an interactive count/proportion query engine
-// over a gamma-perturbed database, with variance-based confidence
-// intervals. The paper quantifies reconstruction error in aggregate
-// (Theorem 1, Figures 1–2); this engine turns the same machinery into a
-// per-query error bar: the estimator (Y_L − ō·N)/(d̄ − ō) has standard
-// error √(N·p̂(1−p̂))/(d̄−ō) with p̂ = Y_L/N, since Y_L is a sum of N
+// over gamma-perturbed data, with variance-based confidence intervals.
+// The paper quantifies reconstruction error in aggregate (Theorem 1,
+// Figures 1–2); this package turns the same machinery into a per-query
+// error bar: the estimator (Y_L − ō·N)/(d̄ − ō) has standard error
+// √(N·p̂(1−p̂))/(d̄−ō) with p̂ = Y_L/N, since Y_L is a sum of N
 // independent Bernoulli indicators (the Poisson-Binomial of Section 2.2,
 // whose variance is bounded by the binomial at the same mean).
+//
+// Two engines share that estimator core (Reconstruct): Engine scans a
+// materialized perturbed database per filter, while CounterEngine reads
+// the perturbed match counts from an incrementally materialized counter
+// in O(#filters) histogram lookups — the collection service's live
+// query path.
 package query
 
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -21,43 +26,8 @@ import (
 // ErrQuery is returned for invalid queries or engine configuration.
 var ErrQuery = errors.New("query: invalid input")
 
-// Estimate is a reconstructed count with its uncertainty.
-type Estimate struct {
-	// Count is the point estimate of the number of ORIGINAL records
-	// matching the filter (may be negative under heavy noise; Clamped
-	// reports the max(0, ·) version).
-	Count float64
-	// StdErr is the standard error of the estimator.
-	StdErr float64
-	// Lo and Hi bound the 95% confidence interval (normal
-	// approximation, unclamped).
-	Lo, Hi float64
-	// N is the number of perturbed records the estimate is based on.
-	N int
-}
-
-// Clamped returns the point estimate clamped to [0, N].
-func (e Estimate) Clamped() float64 {
-	c := e.Count
-	if c < 0 {
-		c = 0
-	}
-	if c > float64(e.N) {
-		c = float64(e.N)
-	}
-	return c
-}
-
-// Proportion returns the estimate as a fraction of N, with scaled bounds.
-func (e Estimate) Proportion() (p, lo, hi float64) {
-	n := float64(e.N)
-	if n == 0 {
-		return 0, 0, 0
-	}
-	return e.Count / n, e.Lo / n, e.Hi / n
-}
-
-// Engine answers filter-count queries over one perturbed database.
+// Engine answers filter-count queries by scanning one perturbed
+// database per filter — the offline path for materialized databases.
 type Engine struct {
 	perturbed *dataset.Database
 	matrix    core.UniformMatrix
@@ -72,7 +42,7 @@ func NewEngine(perturbed *dataset.Database, m core.UniformMatrix) (*Engine, erro
 		return nil, fmt.Errorf("%w: matrix order %d vs domain %d", ErrQuery, m.N, perturbed.Schema.DomainSize())
 	}
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrQuery, err)
 	}
 	return &Engine{perturbed: perturbed, matrix: m}, nil
 }
@@ -81,8 +51,14 @@ func NewEngine(perturbed *dataset.Database, m core.UniformMatrix) (*Engine, erro
 // conjunction of attribute=value conditions), with a 95% confidence
 // interval.
 func (e *Engine) Count(filter mining.Itemset) (Estimate, error) {
+	return e.count(filter, newMarginalCache(e.matrix))
+}
+
+// count is Count with a caller-owned marginal cache, so a batch shares
+// marginals across filters.
+func (e *Engine) count(filter mining.Itemset, marginals *marginalCache) (Estimate, error) {
 	if err := filter.Validate(e.perturbed.Schema); err != nil {
-		return Estimate{}, err
+		return Estimate{}, fmt.Errorf("%w: %w", ErrQuery, err)
 	}
 	n := e.perturbed.N()
 	if n == 0 {
@@ -90,20 +66,15 @@ func (e *Engine) Count(filter mining.Itemset) (Estimate, error) {
 	}
 	if filter.Len() == 0 {
 		// Everything matches; no reconstruction noise.
-		return Estimate{Count: float64(n), N: n}, nil
+		return exactEstimate(n), nil
 	}
-	cols := filter.Attrs()
-	nSub, err := e.perturbed.Schema.SubdomainSize(cols)
+	nSub, err := e.perturbed.Schema.SubdomainSize(filter.Attrs())
+	if err != nil {
+		return Estimate{}, fmt.Errorf("%w: %w", ErrQuery, err)
+	}
+	marg, err := marginals.get(nSub)
 	if err != nil {
 		return Estimate{}, err
-	}
-	marg, err := e.matrix.Marginal(nSub)
-	if err != nil {
-		return Estimate{}, err
-	}
-	a := marg.Diag - marg.Off
-	if a == 0 {
-		return Estimate{}, fmt.Errorf("%w: singular reconstruction matrix", ErrQuery)
 	}
 	// Count perturbed matches Y_L.
 	var y float64
@@ -112,24 +83,16 @@ func (e *Engine) Count(filter mining.Itemset) (Estimate, error) {
 			y++
 		}
 	}
-	est := (y - marg.Off*float64(n)) / a
-	phat := y / float64(n)
-	stderr := math.Sqrt(float64(n)*phat*(1-phat)) / a
-	const z95 = 1.959963984540054
-	return Estimate{
-		Count:  est,
-		StdErr: stderr,
-		Lo:     est - z95*stderr,
-		Hi:     est + z95*stderr,
-		N:      n,
-	}, nil
+	return Reconstruct(y, n, marg)
 }
 
-// CountAll answers many filters in one call.
+// CountAll answers many filters in one call, computing one marginal per
+// distinct attribute set instead of one per filter.
 func (e *Engine) CountAll(filters []mining.Itemset) ([]Estimate, error) {
+	marginals := newMarginalCache(e.matrix)
 	out := make([]Estimate, len(filters))
 	for i, f := range filters {
-		est, err := e.Count(f)
+		est, err := e.count(f, marginals)
 		if err != nil {
 			return nil, fmt.Errorf("filter %d (%s): %w", i, f.Key(), err)
 		}

@@ -273,6 +273,48 @@ func (c *Client) MineAsync(ctx context.Context, p MineParams) (*MineResponse, er
 	return done.Result, nil
 }
 
+// QueryAll answers a batch of filter-count queries with reconstructed
+// estimates and 95% confidence intervals. Each filter is a conjunction
+// of attribute=category conditions; the empty filter matches every
+// record. Estimates come in filter order, all based on the same record
+// count, and the response carries the snapshot version it is exact for.
+func (c *Client) QueryAll(filters []QueryFilter) (*QueryResponse, error) {
+	// Marshaled directly rather than through QueryRequest: the raw
+	// message indirection there exists for the server's duplicate-key
+	// detection, which string-keyed maps cannot trip.
+	body, err := json.Marshal(struct {
+		Filters []QueryFilter `json:"filters"`
+	}{Filters: filters})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: query returned %s", ErrService, resp.Status)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, fmt.Errorf("%w: bad query response: %v", ErrService, err)
+	}
+	if len(qr.Estimates) != len(filters) {
+		return nil, fmt.Errorf("%w: query returned %d estimates for %d filters", ErrService, len(qr.Estimates), len(filters))
+	}
+	return &qr, nil
+}
+
+// Query is the single-filter convenience over QueryAll.
+func (c *Client) Query(filter QueryFilter) (QueryEstimate, error) {
+	qr, err := c.QueryAll([]QueryFilter{filter})
+	if err != nil {
+		return QueryEstimate{}, err
+	}
+	return qr.Estimates[0], nil
+}
+
 // Stats queries the collection state.
 func (c *Client) Stats() (*StatsResponse, error) {
 	resp, err := c.http.Get(c.base + "/v1/stats")

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -57,6 +58,67 @@ func fuzzSchema() *dataset.Schema {
 		{Name: "a", Categories: []string{"a0", "a1", "a2"}},
 		{Name: "b", Categories: []string{"b0", "b1"}},
 		{Name: "c", Categories: []string{"c0", "c1", "c2", "c3"}},
+	})
+}
+
+// FuzzQuery throws arbitrary bytes at the interactive-query endpoint:
+// the server must never panic and must answer 200 only for well-formed
+// filter batches — every 200 carries one estimate per filter, all based
+// on the same record count. Unknown attributes, duplicate attributes
+// within one filter, empty filter lists, over-limit batches, and
+// malformed JSON must all answer 4xx.
+func FuzzQuery(f *testing.F) {
+	srv, err := NewServer(fuzzSchema(), core.PrivacySpec{Rho1: 0.05, Rho2: 0.50}, WithQueryLimit(64))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(srv.Close)
+	handler := srv.Handler()
+	// A non-empty collection so well-formed batches reach the estimator.
+	for i := 0; i < 10; i++ {
+		if err := srv.ctr().Add(dataset.Record{i % 3, i % 2, i % 4}); err != nil {
+			f.Fatal(err)
+		}
+	}
+
+	f.Add([]byte(`{"filters": [{}]}`))
+	f.Add([]byte(`{"filters": [{"a":"a0"},{"a":"a1","b":"b0"},{"a":"a2","b":"b1","c":"c3"}]}`))
+	f.Add([]byte(`{"filters": [{"zzz":"a0"}]}`))
+	f.Add([]byte(`{"filters": [{"a":"a0","a":"a1"}]}`))
+	f.Add([]byte(`{"filters": []}`))
+	f.Add([]byte(`{"filters": [` + strings.Repeat(`{},`, 64) + `{}]}`))
+	f.Add([]byte(`{"filters": [{"a":1}]}`))
+	f.Add([]byte(`{"filters": [{"a":{"b":"c"}}]}`))
+	f.Add([]byte(`{"filters": ["a=a0"]}`))
+	f.Add([]byte(`{"filters"`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			var qr QueryResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.Bytes(), err)
+			}
+			if len(qr.Estimates) == 0 || len(qr.Estimates) > srv.QueryLimit() {
+				t.Fatalf("200 with %d estimates for body %q", len(qr.Estimates), body)
+			}
+			for _, e := range qr.Estimates {
+				if e.N != qr.Records {
+					t.Fatalf("estimate n %d != records %d for body %q", e.N, qr.Records, body)
+				}
+				if e.Lo > e.Count || e.Count > e.Hi {
+					t.Fatalf("interval [%v, %v] misses point %v for body %q", e.Lo, e.Hi, e.Count, body)
+				}
+			}
+		case http.StatusBadRequest:
+			// rejected — fine (the collection is non-empty, so no 409 here)
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
 	})
 }
 

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/mining"
+	"repro/internal/query"
+)
+
+// The interactive query endpoint: POST /v1/query answers a batch of
+// filter-count queries (attr=value conjunctions) with reconstructed
+// estimates and 95% confidence intervals, straight from the live
+// sharded counter — O(#filters) merged-shard histogram lookups, never a
+// scan over stored records (the server does not store records at all).
+//
+// Results follow the same snapshot-version discipline as mining jobs:
+// every response reports the (counter generation, snapshot version)
+// pair it is exact for, the version read BEFORE the counter sweep, so a
+// client that still observes the same pair in /v1/stats may keep
+// reusing the response. The generation matters because a state restore
+// restarts the version line; the version alone could alias two
+// different collections across a restore. Queries are cheap enough
+// (microseconds against the materialized histograms) that no
+// server-side result cache is needed — the stamps exist so CLIENTS can
+// cache.
+
+// defaultQueryLimit caps the number of filters in one batch.
+const defaultQueryLimit = 1024
+
+// QueryFilter is one conjunction of attribute=category conditions on
+// the wire: an object mapping attribute names to category names, in the
+// same vocabulary as /v1/schema. The empty object matches every record.
+type QueryFilter map[string]string
+
+// QueryRequest is the body of POST /v1/query. Filters are kept raw so
+// the handler can reject duplicate attribute keys, which encoding/json
+// would silently collapse.
+type QueryRequest struct {
+	Filters []json.RawMessage `json:"filters"`
+}
+
+// QueryEstimate is one reconstructed count estimate on the wire.
+type QueryEstimate struct {
+	// Count is the point estimate of the number of ORIGINAL records
+	// matching the filter; it may be negative or exceed N under heavy
+	// noise at small collection sizes.
+	Count float64 `json:"count"`
+	// StdErr is the estimator's standard error; Lo and Hi bound the 95%
+	// confidence interval (normal approximation, unclamped).
+	StdErr float64 `json:"stderr"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	// N is the number of perturbed records the estimate is based on —
+	// identical for every estimate of one response (single sweep).
+	N int `json:"n"`
+}
+
+// QueryResponse answers one batch of filters.
+type QueryResponse struct {
+	// Records is the record count every estimate in this response is
+	// based on.
+	Records int `json:"records"`
+	// SnapshotVersion is the counter version this response is exact
+	// for, read before the counter sweep: Records >= SnapshotVersion,
+	// and the response stays exact as long as /v1/stats still reports
+	// the same (counter_generation, snapshot_version) pair.
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	// CounterGeneration counts state restores. A restore RESTARTS the
+	// version line (at the restored record count), so a version match
+	// alone could pair this response with a different post-restore
+	// collection; the generation disambiguates, exactly as it does for
+	// the server's internal mining-result cache.
+	CounterGeneration uint64 `json:"counter_generation"`
+	// Estimates are in filter order.
+	Estimates []QueryEstimate `json:"estimates"`
+}
+
+// WithQueryLimit caps how many filters one /v1/query batch may carry.
+// Values <= 0 (and the default) mean 1024.
+func WithQueryLimit(n int) Option {
+	return func(c *serverConfig) { c.queryLimit = n }
+}
+
+// QueryLimit returns the per-batch filter cap.
+func (s *Server) QueryLimit() int { return s.queryLimit }
+
+// decodeFilter parses one wire filter object into a canonical itemset,
+// token by token: encoding/json would silently keep only the last of
+// two duplicate attribute keys, and a filter that names an attribute
+// twice is a contradiction the client should hear about, not a
+// silently rewritten query.
+func (s *Server) decodeFilter(raw json.RawMessage) (mining.Itemset, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, fmt.Errorf("%w: filter must be an object of attribute=category conditions", ErrService)
+	}
+	var items []mining.Item
+	seen := make(map[int]bool)
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
+		}
+		name := keyTok.(string) // object keys are always strings
+		j := s.attrIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("%w: unknown attribute %q", ErrService, name)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("%w: duplicate attribute %q in filter", ErrService, name)
+		}
+		seen[j] = true
+		valTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
+		}
+		cat, ok := valTok.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: attribute %q condition must be a category name", ErrService, name)
+		}
+		v := s.schema.Attrs[j].CategoryIndex(cat)
+		if v < 0 {
+			return nil, fmt.Errorf("%w: unknown category %q for attribute %q", ErrService, cat, name)
+		}
+		items = append(items, mining.Item{Attr: j, Value: v})
+	}
+	if _, err := dec.Token(); err != nil { // consume the closing '}'
+		return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
+	}
+	set, err := mining.NewItemset(items...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrService, err)
+	}
+	return set, nil
+}
+
+// attrIndex resolves an attribute name to its schema position, -1 if
+// unknown. Linear scan — schemas have a handful of attributes.
+func (s *Server) attrIndex(name string) int {
+	for j, a := range s.schema.Attrs {
+		if a.Name == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// handleQuery answers a batch of filter-count queries from the live
+// counter. The handler never touches stored records — the server keeps
+// none — and never snapshots: the counter sweep inside CountAll merges
+// only the histograms the batch needs, one shard lock at a time.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qr QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&qr); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+		return
+	}
+	if len(qr.Filters) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: empty filter batch", ErrService))
+		return
+	}
+	if len(qr.Filters) > s.queryLimit {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: batch of %d filters exceeds limit %d", ErrService, len(qr.Filters), s.queryLimit))
+		return
+	}
+	filters := make([]mining.Itemset, len(qr.Filters))
+	for i, raw := range qr.Filters {
+		f, err := s.decodeFilter(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("filter %d: %w", i, err))
+			return
+		}
+		filters[i] = f
+	}
+	// One load yields a consistent (counter, generation) pair even if a
+	// state restore lands mid-request.
+	ref := s.counter.Load()
+	counter := ref.counter
+	if counter.N() == 0 {
+		httpError(w, http.StatusConflict, errNoSubmissions)
+		return
+	}
+	// The version is read BEFORE the sweep (the SnapshotVersioned
+	// convention): every record visible at this version is fully inside
+	// some shard and therefore inside the sweep, so Records >= version
+	// and the response is exact for it.
+	version := counter.Version()
+	eng, err := query.NewCounterEngine(counter, s.matrix)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ests, err := eng.CountAll(filters)
+	if err != nil {
+		// Filters were validated above and the collection is non-empty
+		// (and can only grow), so any estimator error is a server bug.
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := QueryResponse{
+		Records:           ests[0].N,
+		SnapshotVersion:   version,
+		CounterGeneration: ref.gen,
+		Estimates:         make([]QueryEstimate, len(ests)),
+	}
+	for i, e := range ests {
+		resp.Estimates[i] = QueryEstimate{Count: e.Count, StdErr: e.StdErr, Lo: e.Lo, Hi: e.Hi, N: e.N}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -59,6 +59,8 @@ type Server struct {
 	// store a cache entry from the wrong counter's version line.
 	counter atomic.Pointer[counterRef]
 	jobs    *jobStore
+	// queryLimit caps the filters of one /v1/query batch (see query.go).
+	queryLimit int
 }
 
 // counterRef pairs a counter with the cache generation it belongs to.
@@ -74,6 +76,7 @@ type serverConfig struct {
 	shards      int
 	mineWorkers int
 	jobTTL      time.Duration
+	queryLimit  int
 }
 
 // WithShards sets the ingestion shard count. Values <= 0 (and the
@@ -118,7 +121,10 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{schema: schema, spec: spec, gamma: gamma, matrix: matrix}
+	if cfg.queryLimit <= 0 {
+		cfg.queryLimit = defaultQueryLimit
+	}
+	s := &Server{schema: schema, spec: spec, gamma: gamma, matrix: matrix, queryLimit: cfg.queryLimit}
 	s.counter.Store(&counterRef{counter: counter})
 	s.jobs = newJobStore(cfg.mineWorkers, cfg.jobTTL, s.executeMine)
 	return s, nil
@@ -139,6 +145,14 @@ func (s *Server) Shards() int { return s.ctr().Shards() }
 // SnapshotVersion returns the counter's current snapshot version.
 func (s *Server) SnapshotVersion() uint64 { return s.ctr().Version() }
 
+// CounterGeneration returns the live counter's generation: 0 at start,
+// bumped by every state restore. A restore replaces the counter object
+// and RESTARTS its version line (at the restored record count), so two
+// equal snapshot versions only imply equal counter content within one
+// generation — which is why the generation travels in /v1/stats and
+// /v1/query responses alongside the version.
+func (s *Server) CounterGeneration() uint64 { return s.counter.Load().gen }
+
 // MineWorkers returns the size of the mining worker pool.
 func (s *Server) MineWorkers() int { return s.jobs.workers }
 
@@ -155,6 +169,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/submit-batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/mine-jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/mine-jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/mine-jobs/{id}", s.handleGetJob)
@@ -268,8 +283,13 @@ type StatsResponse struct {
 	DomainSize      int     `json:"domain_size"`
 	Shards          int     `json:"shards"`
 	// SnapshotVersion is the counter's current content version — mining
-	// results stamped with the same version are exact for this state.
+	// and query results stamped with the same version AND the same
+	// counter generation are exact for this state.
 	SnapshotVersion uint64 `json:"snapshot_version"`
+	// CounterGeneration counts state restores; a restore restarts the
+	// version line, so version comparisons are only meaningful within
+	// one generation.
+	CounterGeneration uint64 `json:"counter_generation"`
 	// MineWorkers and MineRuns describe the mining pool: pool size and
 	// the number of Apriori executions so far (cache hits excluded).
 	MineWorkers int   `json:"mine_workers"`
@@ -277,15 +297,23 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One load yields a consistent (counter, generation) pair even if a
+	// state restore lands mid-request. The version is read BEFORE the
+	// record count (Add bumps the count before the version), so the
+	// records >= snapshot_version relation of the query path holds here
+	// too under concurrent ingestion.
+	ref := s.counter.Load()
+	version := ref.counter.Version()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Records:         s.N(),
-		Gamma:           s.gamma,
-		ConditionNumber: s.matrix.Cond(),
-		DomainSize:      s.schema.DomainSize(),
-		Shards:          s.Shards(),
-		SnapshotVersion: s.SnapshotVersion(),
-		MineWorkers:     s.MineWorkers(),
-		MineRuns:        s.AprioriRuns(),
+		Records:           ref.counter.N(),
+		Gamma:             s.gamma,
+		ConditionNumber:   s.matrix.Cond(),
+		DomainSize:        s.schema.DomainSize(),
+		Shards:            ref.counter.Shards(),
+		SnapshotVersion:   version,
+		CounterGeneration: ref.gen,
+		MineWorkers:       s.MineWorkers(),
+		MineRuns:          s.AprioriRuns(),
 	})
 }
 

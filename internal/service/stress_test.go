@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -9,6 +10,130 @@ import (
 
 	"repro/internal/dataset"
 )
+
+// TestStressConcurrentIngestAndQuery hammers POST /v1/query while
+// submit-batch traffic keeps bumping the counter, under -race in CI.
+// Per response it asserts the interactive-query contract:
+//
+//   - snapshot versions are monotonic per sequential client — the
+//     version is an atomic that only moves forward;
+//   - Records >= SnapshotVersion — the version is read before the shard
+//     sweep, so everything visible at it is inside the sweep;
+//   - Records never exceeds the final ingested total;
+//   - every estimate is based on exactly the response's record count and
+//     its interval brackets its own point estimate;
+//   - the empty filter's estimate is the exact record count.
+func TestStressConcurrentIngestAndQuery(t *testing.T) {
+	srv, ts := startServer(t, WithShards(4))
+
+	const (
+		submitters  = 4
+		batches     = 8
+		batchSize   = 50
+		queriers    = 3
+		queriesPer  = 40
+		seedRecords = 100
+	)
+	seedSkewed(t, ts.URL, ts.Client(), seedRecords, 40)
+	finalTotal := seedRecords + submitters*batches*batchSize
+
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters+queriers)
+
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+			if err != nil {
+				errs <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for b := 0; b < batches; b++ {
+				recs := make([]dataset.Record, batchSize)
+				for i := range recs {
+					recs[i] = dataset.Record{rng.Intn(3), rng.Intn(2), rng.Intn(4)}
+				}
+				if err := client.SubmitBatch(recs, rng); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(61 + w))
+	}
+
+	responses := make(chan *QueryResponse, queriers*queriesPer)
+	filters := []QueryFilter{
+		{},
+		{"a": "a0"},
+		{"b": "b1"},
+		{"a": "a0", "b": "b0"},
+		{"a": "a1", "b": "b1", "c": "c2"},
+	}
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var lastVersion uint64
+			for q := 0; q < queriesPer; q++ {
+				qr, err := client.QueryAll(filters)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if qr.SnapshotVersion < lastVersion {
+					errs <- fmt.Errorf("snapshot version went backwards: %d then %d", lastVersion, qr.SnapshotVersion)
+					return
+				}
+				lastVersion = qr.SnapshotVersion
+				responses <- qr
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	close(responses)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.N() != finalTotal {
+		t.Fatalf("ingested %d records, want %d", srv.N(), finalTotal)
+	}
+	count := 0
+	for qr := range responses {
+		count++
+		if uint64(qr.Records) < qr.SnapshotVersion {
+			t.Fatalf("response over %d records reports version %d", qr.Records, qr.SnapshotVersion)
+		}
+		if qr.Records > finalTotal {
+			t.Fatalf("response over %d records, only %d ever submitted", qr.Records, finalTotal)
+		}
+		if len(qr.Estimates) != len(filters) {
+			t.Fatalf("%d estimates for %d filters", len(qr.Estimates), len(filters))
+		}
+		for i, e := range qr.Estimates {
+			if e.N != qr.Records {
+				t.Fatalf("estimate %d: n %d != response records %d", i, e.N, qr.Records)
+			}
+			if e.Lo > e.Count || e.Count > e.Hi {
+				t.Fatalf("estimate %d: interval [%v, %v] misses point %v", i, e.Lo, e.Hi, e.Count)
+			}
+		}
+		if exact := qr.Estimates[0]; exact.Count != float64(qr.Records) {
+			t.Fatalf("empty filter count %v over %d records", exact.Count, qr.Records)
+		}
+	}
+	if count != queriers*queriesPer {
+		t.Fatalf("collected %d responses, want %d", count, queriers*queriesPer)
+	}
+}
 
 // TestStressConcurrentIngestAndMineJobs is the mixed-workload race test:
 // several clients stream submit-batch ingestion while several miners
