@@ -6,13 +6,20 @@
 //
 //	frapp-bench [-exp all|table1|table2|table3|fig1|fig2|fig3|fig4|params]
 //	            [-quick] [-census-n N] [-health-n N] [-seed S]
-//	            [-minsup F] [-steps K]
+//	            [-minsup F] [-steps K] [-json results.json]
 //
 // Each experiment prints a text rendering of the corresponding paper
 // artifact. -quick shrinks the datasets for a fast smoke run.
+//
+// With -json, a machine-readable run report is additionally written to
+// the given path: the effective configuration plus one record per
+// measurement (experiment name, metric, value, unit, ns/op where the
+// metric is a timing) — the format CI records as a BENCH_*.json perf
+// trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,16 +30,83 @@ import (
 	"repro/internal/experiment"
 )
 
+// benchRecord is one measurement in the -json report.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit,omitempty"`
+	// NsPerOp is set for timing metrics: nanoseconds for one run of the
+	// experiment at this configuration.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+}
+
+// benchReport is the -json payload.
+type benchReport struct {
+	Config  benchConfig   `json:"config"`
+	Results []benchRecord `json:"results"`
+}
+
+// benchConfig pins the knobs a trajectory point was measured under.
+type benchConfig struct {
+	Exp        string  `json:"exp"`
+	Rho1       float64 `json:"rho1"`
+	Rho2       float64 `json:"rho2"`
+	Gamma      float64 `json:"gamma"`
+	MinSupport float64 `json:"minsup"`
+	CensusN    int     `json:"census_n"`
+	HealthN    int     `json:"health_n"`
+	Seed       int64   `json:"seed"`
+	Trials     int     `json:"trials"`
+}
+
+// recorder accumulates -json records; a nil recorder records nothing.
+type recorder struct {
+	results []benchRecord
+}
+
+func (r *recorder) timing(experiment string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	ns := float64(d.Nanoseconds())
+	r.results = append(r.results, benchRecord{
+		Experiment: experiment, Metric: "wall_time", Value: ns, Unit: "ns", NsPerOp: ns,
+	})
+}
+
+func (r *recorder) value(experiment, metric string, v float64, unit string) {
+	if r == nil {
+		return
+	}
+	r.results = append(r.results, benchRecord{Experiment: experiment, Metric: metric, Value: v, Unit: unit})
+}
+
+// write renders the report atomically enough for CI consumption (one
+// final write, no partial sections).
+func (r *recorder) write(path string, cfg benchConfig) error {
+	if r == nil {
+		return nil
+	}
+	report := benchReport{Config: cfg, Results: r.results}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig1, fig2, fig3, fig4, params, recon, classify, relax, gammasweep")
-		quick   = flag.Bool("quick", false, "use reduced dataset sizes for a fast smoke run")
-		censusN = flag.Int("census-n", 0, "override CENSUS record count (default 50000, 8000 with -quick)")
-		healthN = flag.Int("health-n", 0, "override HEALTH record count (default 100000, 8000 with -quick)")
-		seed    = flag.Int64("seed", 0, "override random seed (default 2005)")
-		minsup  = flag.Float64("minsup", 0, "override minimum support (default 0.02)")
-		steps   = flag.Int("steps", 11, "number of alpha sweep steps for fig3")
-		trials  = flag.Int("trials", 1, "if > 1, average fig1/fig2 over this many perturbation trials (mean±std)")
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig1, fig2, fig3, fig4, params, recon, classify, relax, gammasweep")
+		quick    = flag.Bool("quick", false, "use reduced dataset sizes for a fast smoke run")
+		censusN  = flag.Int("census-n", 0, "override CENSUS record count (default 50000, 8000 with -quick)")
+		healthN  = flag.Int("health-n", 0, "override HEALTH record count (default 100000, 8000 with -quick)")
+		seed     = flag.Int64("seed", 0, "override random seed (default 2005)")
+		minsup   = flag.Float64("minsup", 0, "override minimum support (default 0.02)")
+		steps    = flag.Int("steps", 11, "number of alpha sweep steps for fig3")
+		trials   = flag.Int("trials", 1, "if > 1, average fig1/fig2 over this many perturbation trials (mean±std)")
+		jsonPath = flag.String("json", "", "write a machine-readable run report to this path")
 	)
 	flag.Parse()
 
@@ -52,16 +126,20 @@ func main() {
 	if *minsup > 0 {
 		cfg.MinSupport = *minsup
 	}
-	if err := run(*exp, cfg, *steps, *trials); err != nil {
+	if err := run(*exp, cfg, *steps, *trials, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "frapp-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg experiment.Config, steps, trials int) error {
+func run(exp string, cfg experiment.Config, steps, trials int, jsonPath string) error {
 	gamma, err := cfg.Gamma()
 	if err != nil {
 		return err
+	}
+	var rec *recorder
+	if jsonPath != "" {
+		rec = &recorder{}
 	}
 	fmt.Printf("FRAPP evaluation — (rho1,rho2)=(%.0f%%,%.0f%%) gamma=%.4g supmin=%.2g census-n=%d health-n=%d seed=%d\n\n",
 		cfg.Privacy.Rho1*100, cfg.Privacy.Rho2*100, gamma, cfg.MinSupport, cfg.CensusN, cfg.HealthN, cfg.Seed)
@@ -77,6 +155,8 @@ func run(exp string, cfg experiment.Config, steps, trials int) error {
 			return err
 		}
 		fmt.Printf("[prep] CENSUS: %d records, truth %v (%s)\n", census.DB.N(), census.Truth.Counts(), time.Since(t0).Round(time.Millisecond))
+		rec.timing("prep_census", time.Since(t0))
+		rec.value("prep_census", "records", float64(census.DB.N()), "records")
 	}
 	if needHealth {
 		t0 := time.Now()
@@ -85,6 +165,8 @@ func run(exp string, cfg experiment.Config, steps, trials int) error {
 			return err
 		}
 		fmt.Printf("[prep] HEALTH: %d records, truth %v (%s)\n", health.DB.N(), health.Truth.Counts(), time.Since(t0).Round(time.Millisecond))
+		rec.timing("prep_health", time.Since(t0))
+		rec.value("prep_health", "records", float64(health.DB.N()), "records")
 	}
 	fmt.Println()
 
@@ -95,6 +177,7 @@ func run(exp string, cfg experiment.Config, steps, trials int) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("(%s)\n\n", time.Since(t0).Round(time.Millisecond))
+		rec.timing(name, time.Since(t0))
 		return nil
 	}
 
@@ -242,6 +325,16 @@ func run(exp string, cfg experiment.Config, steps, trials int) error {
 		}); err != nil {
 			return err
 		}
+	}
+	if jsonPath != "" {
+		if err := rec.write(jsonPath, benchConfig{
+			Exp: exp, Rho1: cfg.Privacy.Rho1, Rho2: cfg.Privacy.Rho2, Gamma: gamma,
+			MinSupport: cfg.MinSupport, CensusN: cfg.CensusN, HealthN: cfg.HealthN,
+			Seed: cfg.Seed, Trials: trials,
+		}); err != nil {
+			return fmt.Errorf("writing -json report: %w", err)
+		}
+		fmt.Printf("[json] %d results written to %s\n", len(rec.results), jsonPath)
 	}
 	return nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/experiment"
@@ -25,7 +27,7 @@ func TestRunLightweightExperiments(t *testing.T) {
 	silenceStdout(t)
 	cfg := experiment.QuickConfig()
 	for _, exp := range []string{"table1", "table2", "params"} {
-		if err := run(exp, cfg, 3, 1); err != nil {
+		if err := run(exp, cfg, 3, 1, ""); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -38,7 +40,7 @@ func TestRunDataExperimentsQuick(t *testing.T) {
 	silenceStdout(t)
 	cfg := experiment.QuickConfig()
 	for _, exp := range []string{"table3", "fig4", "recon"} {
-		if err := run(exp, cfg, 3, 1); err != nil {
+		if err := run(exp, cfg, 3, 1, ""); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -51,7 +53,59 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	// Lightweight experiments don't need bundles, but the gamma
 	// derivation still validates the privacy spec.
 	cfg.Privacy.Rho1 = 0.9
-	if err := run("table1", cfg, 3, 1); err == nil {
+	if err := run("table1", cfg, 3, 1, ""); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestRunJSONReport checks the -json trajectory format: a config block
+// pinning the knobs and one record per measurement, timings carrying
+// ns/op.
+func TestRunJSONReport(t *testing.T) {
+	silenceStdout(t)
+	cfg := experiment.QuickConfig()
+	cfg.CensusN = 500 // keep the smoke run fast
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("table3", cfg, 3, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Config.Exp != "table3" || report.Config.CensusN != 500 || report.Config.Gamma <= 1 {
+		t.Fatalf("config block %+v", report.Config)
+	}
+	if len(report.Results) == 0 {
+		t.Fatal("no results recorded")
+	}
+	timings := 0
+	for _, r := range report.Results {
+		if r.Experiment == "" || r.Metric == "" {
+			t.Fatalf("incomplete record %+v", r)
+		}
+		if r.Metric == "wall_time" {
+			timings++
+			if r.NsPerOp <= 0 || r.Unit != "ns" || r.Value != r.NsPerOp {
+				t.Fatalf("bad timing record %+v", r)
+			}
+		}
+	}
+	if timings < 2 { // prep + at least the experiment section
+		t.Fatalf("only %d timing records", timings)
+	}
+}
+
+// TestRunJSONReportUnwritablePath: the run must fail loudly, not drop
+// the report silently.
+func TestRunJSONReportUnwritablePath(t *testing.T) {
+	silenceStdout(t)
+	cfg := experiment.QuickConfig()
+	if err := run("table1", cfg, 3, 1, filepath.Join(t.TempDir(), "missing-dir", "bench.json")); err == nil {
+		t.Fatal("unwritable -json path accepted")
 	}
 }

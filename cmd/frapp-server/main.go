@@ -10,6 +10,8 @@
 //	             [-rho1 0.05] [-rho2 0.50] [-state state.gob]
 //	             [-shards 0] [-mine-workers 2] [-job-ttl 15m]
 //	             [-query-limit 1024]
+//	             [-peers http://site-a:8080,http://site-b:8080]
+//	             [-sync-interval 5s]
 //
 // -shards stripes the ingestion counter so concurrent submissions never
 // contend on one lock; 0 (the default) means one shard per core.
@@ -20,9 +22,19 @@
 // -query-limit caps the filters of one /v1/query batch.
 //
 // With -state, the accumulated (perturbed) counts are restored at start
-// and persisted atomically on SIGINT/SIGTERM, so a restart loses no
-// submissions. The state file contains only perturbed marginal counts —
-// no raw record ever reaches the server in the FRAPP trust model.
+// and persisted atomically, exactly once, on SIGINT/SIGTERM, so a
+// restart loses no submissions. The state file contains only perturbed
+// marginal counts — no raw record ever reaches the server in the FRAPP
+// trust model.
+//
+// With -peers, the server runs as a federation COORDINATOR: it pulls
+// versioned counter deltas from the listed collector sites every
+// -sync-interval (jittered, with exponential backoff on failures) and
+// answers /v1/query, /v1/mine, and /v1/stats from the merged global
+// counter, stamped with the per-peer version vector. A coordinator
+// refuses direct submissions — records enter at collector sites — and
+// refuses -state: its counter is rebuilt from the peers, which own the
+// durable state.
 package main
 
 import (
@@ -34,33 +46,41 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/federation"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		schemaName = flag.String("schema", "census", "published schema: census or health")
-		rho1       = flag.Float64("rho1", 0.05, "privacy prior bound rho1")
-		rho2       = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
-		state      = flag.String("state", "", "state file for restart durability (optional)")
-		shards     = flag.Int("shards", 0, "ingestion shards (0 = one per core)")
-		workers    = flag.Int("mine-workers", 0, "concurrent mining jobs (0 = default 2)")
-		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished mining jobs (0 = default 15m)")
-		queryLimit = flag.Int("query-limit", 0, "max filters per /v1/query batch (0 = default 1024)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		schemaName   = flag.String("schema", "census", "published schema: census or health")
+		rho1         = flag.Float64("rho1", 0.05, "privacy prior bound rho1")
+		rho2         = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
+		state        = flag.String("state", "", "state file for restart durability (optional)")
+		shards       = flag.Int("shards", 0, "ingestion shards (0 = one per core)")
+		workers      = flag.Int("mine-workers", 0, "concurrent mining jobs (0 = default 2)")
+		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished mining jobs (0 = default 15m)")
+		queryLimit   = flag.Int("query-limit", 0, "max filters per /v1/query batch (0 = default 1024)")
+		peers        = flag.String("peers", "", "comma-separated collector base URLs; run as federation coordinator")
+		syncInterval = flag.Duration("sync-interval", 0, "federation pull interval (0 = default 5s)")
 	)
 	flag.Parse()
 	cfg := serverConfig{
 		addr: *addr, schema: *schemaName, rho1: *rho1, rho2: *rho2,
 		state: *state, shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
-		queryLimit: *queryLimit,
+		queryLimit: *queryLimit, peers: *peers, syncInterval: *syncInterval,
 	}
-	if err := run(cfg); err != nil {
+	// The signal context lives in main so run stays testable: tests
+	// drive the same graceful-shutdown path by canceling the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "frapp-server:", err)
 		os.Exit(1)
 	}
@@ -68,17 +88,25 @@ func main() {
 
 // serverConfig carries the flag set into run.
 type serverConfig struct {
-	addr        string
-	schema      string
-	rho1, rho2  float64
-	state       string
-	shards      int
-	mineWorkers int
-	jobTTL      time.Duration
-	queryLimit  int
+	addr         string
+	schema       string
+	rho1, rho2   float64
+	state        string
+	shards       int
+	mineWorkers  int
+	jobTTL       time.Duration
+	queryLimit   int
+	peers        string
+	syncInterval time.Duration
 }
 
-func run(cfg serverConfig) error {
+// run serves until ctx is canceled (SIGINT/SIGTERM in production), then
+// shuts down gracefully. The -state persist happens on exactly one
+// path: after a graceful shutdown completed. A listen failure returns
+// before it (nothing ingested beyond the restored state is worth the
+// risk of clobbering a good file on a half-started server), and there
+// is no other exit.
+func run(ctx context.Context, cfg serverConfig) error {
 	var sc *dataset.Schema
 	switch cfg.schema {
 	case "census":
@@ -87,6 +115,9 @@ func run(cfg serverConfig) error {
 		sc = dataset.HealthSchema()
 	default:
 		return fmt.Errorf("unknown schema %q", cfg.schema)
+	}
+	if cfg.peers != "" && cfg.state != "" {
+		return errors.New("-state cannot be combined with -peers: a coordinator's counter is rebuilt from its peers, which own the durable state")
 	}
 	spec := core.PrivacySpec{Rho1: cfg.rho1, Rho2: cfg.rho2}
 	opts := []service.Option{
@@ -109,22 +140,53 @@ func run(cfg serverConfig) error {
 		return err
 	}
 	defer srv.Close()
+
+	var coord *federation.Coordinator
+	if cfg.peers != "" {
+		// The coordinator is built over the server's OWN schema and
+		// matrix (not re-derived ones), so its compatibility fingerprint
+		// can never drift from what ReplaceCounter will accept.
+		coord, err = federation.NewCoordinator(sc, srv.Matrix(), strings.Split(cfg.peers, ","),
+			srv.ReplaceCounter, federation.WithSyncInterval(cfg.syncInterval))
+		if err != nil {
+			return err
+		}
+		if err := srv.EnableFederation(coord); err != nil {
+			return err
+		}
+		// Warm first view; per-peer failures are logged, not fatal — the
+		// background loop keeps retrying with backoff.
+		if err := coord.SyncAll(ctx); err != nil {
+			log.Printf("frapp-server: initial federation sync: %v", err)
+		}
+		coord.Start()
+		log.Printf("frapp-server: federation coordinator over %d peers, sync interval %s",
+			len(coord.Peers()), coord.SyncInterval())
+	}
+
 	log.Printf("frapp-server: schema=%s records=%d shards=%d mine-workers=%d listening on %s",
 		sc.Name, srv.N(), srv.Shards(), srv.MineWorkers(), cfg.addr)
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		// Listen failed before any graceful shutdown: stop the sync loop
+		// and report; deliberately no persist (see the run doc comment).
+		if coord != nil {
+			coord.Close()
+		}
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
 	case <-ctx.Done():
 		log.Printf("frapp-server: shutting down")
+		// Stop pulling (and publishing) before draining HTTP, so the
+		// counter stops moving under the final in-flight responses.
+		if coord != nil {
+			coord.Close()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

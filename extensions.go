@@ -10,6 +10,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/federation"
 	"repro/internal/mining"
 	"repro/internal/query"
 	"repro/internal/service"
@@ -76,6 +77,46 @@ var (
 	WithJobTTL = service.WithJobTTL
 	// WithQueryLimit caps the filters of one /v1/query batch.
 	WithQueryLimit = service.WithQueryLimit
+)
+
+// Federation (see internal/federation and internal/mining/delta.go):
+// multi-site counter replication — collector sites expose versioned
+// counter deltas over GET /v1/replicate, and a coordinator merges them
+// into one global counter serving queries and mining unchanged.
+type (
+	// FederationCoordinator pulls versioned deltas from peer collection
+	// servers and publishes the merged global counter.
+	FederationCoordinator = federation.Coordinator
+	// FederationStats is the coordinator health block of /v1/stats:
+	// per-peer sync state, lag, and the global version vector.
+	FederationStats = federation.Stats
+	// FederationPeerStatus is one peer's row in FederationStats.
+	FederationPeerStatus = federation.PeerStatus
+	// CounterDelta is one replication pull's payload: the sparse joint-
+	// histogram change between two stream positions, fingerprinted with
+	// the (schema, matrix) contract it was counted under.
+	CounterDelta = mining.CounterDelta
+	// DeltaCell is one changed joint-histogram cell of a CounterDelta.
+	DeltaCell = mining.DeltaCell
+)
+
+var (
+	// NewFederationCoordinator validates a peer registry and prepares the
+	// sync loop; wire its publish hook to CollectionServer.ReplaceCounter.
+	NewFederationCoordinator = federation.NewCoordinator
+	// WithSyncInterval sets the coordinator's per-peer pull interval.
+	WithSyncInterval = federation.WithSyncInterval
+	// WithSyncRequestTimeout bounds one replication request.
+	WithSyncRequestTimeout = federation.WithRequestTimeout
+	// WithSyncMaxBackoff caps the per-peer failure backoff.
+	WithSyncMaxBackoff = federation.WithMaxBackoff
+	// WithFederationHTTPClient substitutes the coordinator's transport.
+	WithFederationHTTPClient = federation.WithHTTPClient
+	// CounterCompatibilityFingerprint hashes the (schema, matrix)
+	// contract two sites must share before their counters may merge.
+	CounterCompatibilityFingerprint = mining.CompatibilityFingerprint
+	// NewShardedFromSnapshot wraps a frozen merged counter for serving.
+	NewShardedFromSnapshot = mining.NewShardedFromSnapshot
 )
 
 // Discretization (see internal/dataset).

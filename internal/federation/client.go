@@ -1,0 +1,38 @@
+package federation
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/mining"
+)
+
+// httpReplicate is the production ReplicateFunc: one GET against the
+// peer's /v1/replicate endpoint, gob-decoded.
+func (co *Coordinator) httpReplicate(ctx context.Context, base string, since, gen uint64) (*mining.CounterDelta, error) {
+	u := fmt.Sprintf("%s/v1/replicate?since=%d&gen=%d", base, since, gen)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFederation, err)
+	}
+	resp, err := co.cfg.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("federation: pulling %s: %w", base, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%w: replicate returned %s: %s", ErrFederation, resp.Status, body)
+	}
+	var d mining.CounterDelta
+	if err := gob.NewDecoder(io.LimitReader(resp.Body, mining.MaxDeltaWireBytes)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("%w: bad replicate payload: %v", ErrFederation, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,314 @@
+package mining
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Federated counter replication. FRAPP perturbs at the data provider, so
+// the server-side counter is already privacy-safe — which makes counters
+// from independent collection sites additive: summing per-site subset
+// histograms reproduces the histogram of the union exactly, with no
+// extra privacy cost. This file provides the replication substrate: a
+// compatibility fingerprint (so only sites running the same schema and
+// perturbation contract merge), compact versioned deltas extracted from
+// a live ShardedGammaCounter, and additive application/merge on
+// MaterializedGammaCounter, which a coordinator uses to maintain one
+// global counter over which the existing estimator and miner run
+// unchanged.
+
+// CounterDelta is one replication pull's payload: the sparse change of
+// the FULL-domain (joint) histogram between two replication positions,
+// plus everything a receiver needs to apply it safely. Only the joint
+// histogram travels — every subset histogram is a marginalization of it,
+// so the receiver re-derives the rest, keeping the wire format compact
+// (at most one cell per new record).
+type CounterDelta struct {
+	// Fingerprint identifies the (schema, perturbation matrix) contract
+	// the cells were counted under; receivers must reject a mismatch.
+	Fingerprint string
+	// Generation is the sending counter object's random epoch nonce
+	// (DeltaEpoch): every restart, state restore, or coordinator publish
+	// creates a new counter object with a fresh nonce, so incremental
+	// deltas chain only onto the exact object they were extracted from —
+	// stream tokens can never alias another boot's state even when
+	// version lines restart at colliding values.
+	Generation uint64
+	// FromVersion and ToVersion bracket the delta on the sender's
+	// replication stream. FromVersion 0 means the payload is the FULL
+	// counter state (a resync), to be applied to an empty counter;
+	// otherwise the receiver must already hold the sender's state at
+	// exactly FromVersion. ToVersion is an opaque stream position (>= the
+	// counter's content version) to echo as `since` on the next pull.
+	FromVersion uint64
+	ToVersion   uint64
+	// Records is the record-count change carried by Cells (the total
+	// record count when FromVersion is 0).
+	Records int
+	// Cells are the changed joint-histogram cells, each strictly
+	// positive — per-site counts only grow within a generation.
+	Cells []DeltaCell
+}
+
+// DeltaCell is one changed cell of the joint histogram: the record index
+// in the schema's record↔index bijection, and the count increment.
+type DeltaCell struct {
+	Idx   int
+	Count float64
+}
+
+// Full reports whether the delta carries complete counter state rather
+// than an increment.
+func (d *CounterDelta) Full() bool { return d.FromVersion == 0 }
+
+// CompatibilityFingerprint hashes everything two sites must agree on
+// before their counters may be merged: schema name, every attribute with
+// its ordered category list, and the perturbation matrix parameters. Two
+// counters with equal fingerprints count in identical coordinates under
+// identical distortion, so their histograms are additively combinable.
+func CompatibilityFingerprint(schema *dataset.Schema, m core.UniformMatrix) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%s;M=%d;", schema.Name, schema.M())
+	for _, a := range schema.Attrs {
+		fmt.Fprintf(h, "attr=%s:%s;", a.Name, strings.Join(a.Categories, "\x1f"))
+	}
+	fmt.Fprintf(h, "matrix=%d:%g:%g", m.N, m.Diag, m.Off)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint returns the counter's compatibility fingerprint.
+func (c *MaterializedGammaCounter) Fingerprint() string {
+	return CompatibilityFingerprint(c.schema, c.matrix)
+}
+
+// Fingerprint returns the counter's compatibility fingerprint.
+func (c *ShardedGammaCounter) Fingerprint() string {
+	return CompatibilityFingerprint(c.schema, c.matrix)
+}
+
+// MaxDeltaWireBytes bounds one serialized CounterDelta read on the
+// receiving side. A delta carries at most one gob cell (~2 words) per
+// distinct joint-domain point, so even a full resync of a large site is
+// a few MB; the cap is a safety valve against a misbehaving endpoint,
+// not a tuning knob.
+const MaxDeltaWireBytes = 1 << 30
+
+// maxDeltaCheckpoints bounds the retained replication baselines. Each
+// checkpoint is one joint histogram (DomainSize floats), so the cap
+// costs O(8·|S_U|) memory and lets up to 8 interleaved pullers (or 8
+// outstanding retry windows of one puller) replicate incrementally;
+// anything older falls back to a full resync.
+const maxDeltaCheckpoints = 8
+
+// deltaCheckpoint is the baseline retained per issued ToVersion: the
+// exact joint histogram and record count that were handed to the puller,
+// so the next incremental diff is computed against precisely the state
+// the puller holds.
+type deltaCheckpoint struct {
+	n     int
+	joint []float64
+}
+
+// DeltaSince extracts the counter's change since a previously issued
+// replication position. since 0 — or any position the counter no longer
+// retains (evicted checkpoint, restarted process, restored state: the
+// checkpoint ring lives and dies with the counter object) — yields a
+// FULL delta (FromVersion 0); otherwise an incremental delta against
+// exactly the state returned at `since`. The returned ToVersion is the
+// position to echo next time.
+//
+// ToVersion is a stream token, not the content version: every distinct
+// counter state gets a distinct token >= the content version at
+// extraction time (a snapshot can fold in records that landed
+// mid-sweep, so two calls at one content version may see different
+// states — distinct tokens keep every retained baseline unambiguous,
+// while pulls that observe an unchanged counter reuse the newest
+// token).
+func (c *ShardedGammaCounter) DeltaSince(since uint64) (*CounterDelta, error) {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+
+	// Fast path: if the newest issued baseline still matches the live
+	// record count, the counter is unchanged since it was issued —
+	// records are never removed, so an equal count means an identical
+	// record multiset and therefore identical histograms — and the pull
+	// is served entirely from retained checkpoints: no snapshot fold, no
+	// new token, no ring churn. Idle polling (including repeated since=0
+	// scrapers) therefore costs O(cells) and can never evict a
+	// replicator's baseline. (A record mid-ingestion may make the count
+	// match a hair before its visibility — then this serves the
+	// checkpoint's slightly older but fully consistent state, and the
+	// record rides the next delta.)
+	if k := len(c.ckptOrder); k > 0 {
+		tok := c.ckptOrder[k-1]
+		if ck := c.ckpts[tok]; int64(ck.n) == c.total.Load() {
+			return c.deltaToLocked(since, tok, ck)
+		}
+	}
+
+	// Slow path: fold a fresh snapshot, mint a strictly increasing
+	// token, and retain the (token → state) baseline for future pulls.
+	snap, version := c.SnapshotVersioned()
+	token := version
+	if token <= c.lastDeltaToken {
+		token = c.lastDeltaToken + 1
+	}
+	c.lastDeltaToken = token
+	ck := &deltaCheckpoint{n: snap.n, joint: snap.hists[len(snap.hists)-1]}
+	c.ckpts[token] = ck
+	c.ckptOrder = append(c.ckptOrder, token)
+	if len(c.ckptOrder) > maxDeltaCheckpoints {
+		delete(c.ckpts, c.ckptOrder[0])
+		c.ckptOrder = c.ckptOrder[1:]
+	}
+	return c.deltaToLocked(since, token, ck)
+}
+
+// DeltaEpoch returns the counter object's random replication epoch —
+// the Generation every extracted delta carries.
+func (c *ShardedGammaCounter) DeltaEpoch() uint64 { return c.deltaEpoch }
+
+// deltaToLocked builds the delta ending at checkpoint (token, ck),
+// incremental against the retained baseline at since when one exists,
+// full otherwise. Called with ckptMu held.
+func (c *ShardedGammaCounter) deltaToLocked(since, token uint64, ck *deltaCheckpoint) (*CounterDelta, error) {
+	d := &CounterDelta{
+		Fingerprint: c.Fingerprint(),
+		Generation:  c.deltaEpoch,
+		ToVersion:   token,
+	}
+	var base *deltaCheckpoint
+	if since != 0 {
+		if b, ok := c.ckpts[since]; ok {
+			base = b
+			d.FromVersion = since
+		}
+	}
+	if base == nil {
+		d.Records = ck.n
+		for idx, v := range ck.joint {
+			if v != 0 {
+				d.Cells = append(d.Cells, DeltaCell{Idx: idx, Count: v})
+			}
+		}
+		return d, nil
+	}
+	d.Records = ck.n - base.n
+	for idx, v := range ck.joint {
+		if diff := v - base.joint[idx]; diff != 0 {
+			if diff < 0 {
+				return nil, fmt.Errorf("%w: joint cell %d regressed by %v within one counter", ErrMining, idx, -diff)
+			}
+			d.Cells = append(d.Cells, DeltaCell{Idx: idx, Count: diff})
+		}
+	}
+	return d, nil
+}
+
+// ApplyDelta folds a replication delta into the counter: every cell is a
+// batch of d.Count records at joint index d.Idx, decomposed through the
+// schema's record↔index bijection and added to every subset histogram —
+// exactly what Add would have done record by record, in O(cells·2^M)
+// instead of O(records·2^M). The caller is responsible for chaining
+// (applying a full delta to an EMPTY counter and an incremental delta to
+// the state at exactly FromVersion); the counter validates everything
+// else: fingerprint, cell ranges, positivity, and the record-count sum.
+func (c *MaterializedGammaCounter) ApplyDelta(d *CounterDelta) error {
+	if d == nil {
+		return fmt.Errorf("%w: nil delta", ErrMining)
+	}
+	if fp := c.Fingerprint(); d.Fingerprint != fp {
+		return fmt.Errorf("%w: delta fingerprint %.12s does not match counter %.12s (different schema or perturbation contract)",
+			ErrMining, d.Fingerprint, fp)
+	}
+	if d.Records < 0 {
+		return fmt.Errorf("%w: delta carries negative record count %d", ErrMining, d.Records)
+	}
+	var sum float64
+	for _, cell := range d.Cells {
+		if cell.Idx < 0 || cell.Idx >= c.schema.DomainSize() {
+			return fmt.Errorf("%w: delta cell index %d outside domain %d", ErrMining, cell.Idx, c.schema.DomainSize())
+		}
+		if cell.Count <= 0 {
+			return fmt.Errorf("%w: non-positive delta cell count %v at index %d", ErrMining, cell.Count, cell.Idx)
+		}
+		sum += cell.Count
+	}
+	if diff := sum - float64(d.Records); diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("%w: delta cells total %v, want %d records", ErrMining, sum, d.Records)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cell := range d.Cells {
+		rec, err := c.schema.Decode(cell.Idx)
+		if err != nil {
+			return err
+		}
+		for mask := 1; mask < len(c.hists); mask++ {
+			idx := 0
+			for _, j := range c.cols[mask] {
+				idx = idx*c.schema.Attrs[j].Cardinality() + rec[j]
+			}
+			c.hists[mask][idx] += cell.Count
+		}
+	}
+	c.n += d.Records
+	return nil
+}
+
+// Merge additively combines another counter into this one. Because every
+// subset histogram is a per-record sum, merging per-site counters
+// reproduces the counters of the union of their submissions exactly —
+// the coordinator's global view is bit-identical to a single site that
+// had collected everything. The two counters must share a compatibility
+// fingerprint.
+func (c *MaterializedGammaCounter) Merge(other *MaterializedGammaCounter) error {
+	if other == nil {
+		return fmt.Errorf("%w: nil counter", ErrMining)
+	}
+	if c == other {
+		return fmt.Errorf("%w: cannot merge a counter into itself", ErrMining)
+	}
+	// The fingerprint covers schema AND matrix, so it is checked even
+	// when the two counters share a *Schema — equal schema pointers say
+	// nothing about the distortion the counts were collected under.
+	if c.Fingerprint() != other.Fingerprint() {
+		return fmt.Errorf("%w: cannot merge counters with different schema or perturbation contract", ErrMining)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	for mask := 1; mask < len(c.hists); mask++ {
+		addInto(c.hists[mask], other.hists[mask])
+	}
+	c.n += other.n
+	return nil
+}
+
+// NewShardedFromSnapshot wraps a frozen merged counter as a single-shard
+// ShardedGammaCounter, so a coordinator's global view plugs into
+// everything built for the live ingestion counter (service handlers,
+// query engine, Apriori) unchanged. The caller must hand over ownership:
+// the snapshot becomes the counter's only shard. Its version line starts
+// at the record count, mirroring a state restore.
+func NewShardedFromSnapshot(snap *MaterializedGammaCounter) *ShardedGammaCounter {
+	c := &ShardedGammaCounter{
+		schema:     snap.schema,
+		matrix:     snap.matrix,
+		shards:     []*MaterializedGammaCounter{snap},
+		deltaEpoch: rand.Uint64(),
+		ckpts:      make(map[uint64]*deltaCheckpoint),
+	}
+	n := snap.N()
+	c.next.Store(uint64(n))
+	c.total.Store(int64(n))
+	c.version.Store(uint64(n))
+	return c
+}

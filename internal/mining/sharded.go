@@ -1,7 +1,9 @@
 package mining
 
 import (
+	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -42,6 +44,21 @@ type ShardedGammaCounter struct {
 	// record became visible — the invariant the service's mining-result
 	// cache is keyed on.
 	version atomic.Uint64
+
+	// Replication baselines for DeltaSince (see delta.go): joint
+	// histograms retained per issued stream token so the next pull diffs
+	// against exactly the state the puller holds. The ring lives and dies
+	// with the counter object — a restored counter starts empty, which is
+	// what forces pullers into a clean full resync. deltaEpoch is a
+	// random per-object nonce carried as the delta Generation: two
+	// counter objects (across restarts, restores, or publishes) can
+	// never share one, so a stream token can never alias a different
+	// object's state even if version lines and token values collide.
+	deltaEpoch     uint64
+	ckptMu         sync.Mutex
+	ckpts          map[uint64]*deltaCheckpoint
+	ckptOrder      []uint64
+	lastDeltaToken uint64
 }
 
 // NewShardedGammaCounter builds a counter with the given shard count;
@@ -51,9 +68,11 @@ func NewShardedGammaCounter(schema *dataset.Schema, m core.UniformMatrix, shards
 		shards = runtime.GOMAXPROCS(0)
 	}
 	c := &ShardedGammaCounter{
-		schema: schema,
-		matrix: m,
-		shards: make([]*MaterializedGammaCounter, shards),
+		schema:     schema,
+		matrix:     m,
+		shards:     make([]*MaterializedGammaCounter, shards),
+		deltaEpoch: rand.Uint64(),
+		ckpts:      make(map[uint64]*deltaCheckpoint),
 	}
 	for i := range c.shards {
 		s, err := NewMaterializedGammaCounter(schema, m)

@@ -1,0 +1,154 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testMarginal builds the gamma-diagonal marginal for a sub-domain of
+// size nSub inside a full domain of size n.
+func testMarginal(t *testing.T, n, nSub int, gamma float64) core.UniformMatrix {
+	t.Helper()
+	m, err := core.NewGammaDiagonal(n, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := m.Marginal(nSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marg
+}
+
+func TestReconstructZeroRecordCounter(t *testing.T) {
+	marg := testMarginal(t, 24, 6, 19)
+	for _, n := range []int{0, -1} {
+		if _, err := Reconstruct(3, n, marg); !errors.Is(err, ErrQuery) {
+			t.Errorf("n=%d: err %v, want ErrQuery", n, err)
+		}
+	}
+}
+
+// TestReconstructDegenerateSubdomainSizeOne: the marginal onto a
+// sub-domain of size 1 (the empty attribute set) maps every record to
+// the only cell with probability 1 — d̄ = 1, ō = N·off — so y = n must
+// reconstruct to exactly n with zero residual against exactEstimate.
+func TestReconstructDegenerateSubdomainSizeOne(t *testing.T) {
+	marg := testMarginal(t, 24, 1, 19)
+	if math.Abs(marg.Diag-1) > 1e-12 {
+		t.Fatalf("size-1 marginal diag %v, want 1 (row-stochastic)", marg.Diag)
+	}
+	const n = 1000
+	est, err := Reconstruct(n, n, marg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Count-n) > 1e-9 {
+		t.Fatalf("count %v, want exactly %v", est.Count, float64(n))
+	}
+	// p̂ = 1 ⇒ the Bernoulli variance term vanishes: a zero-width CI,
+	// matching the exactEstimate fast path the engines use.
+	if est.StdErr != 0 || est.Lo != est.Hi {
+		t.Fatalf("degenerate estimate has nonzero width: %+v", est)
+	}
+	exact := exactEstimate(n)
+	if math.Abs(est.Count-exact.Count) > 1e-9 || est.N != exact.N {
+		t.Fatalf("Reconstruct %+v differs from exactEstimate %+v", est, exact)
+	}
+}
+
+// TestReconstructNearSingularInversion: as γ → 1 the matrix approaches
+// uniform (d̄ − ō → 0) and the inversion must blow up the STANDARD
+// ERROR — honestly reporting that a near-singular contract carries
+// almost no information — while a singular marginal errors out rather
+// than dividing by zero.
+func TestReconstructNearSingularInversion(t *testing.T) {
+	const n = 10000
+	y := 400.0
+	var prevStdErr float64
+	for i, gamma := range []float64{19, 2, 1.05, 1.0005} {
+		marg := testMarginal(t, 24, 6, gamma)
+		est, err := Reconstruct(y, n, marg)
+		if err != nil {
+			t.Fatalf("gamma=%v: %v", gamma, err)
+		}
+		if math.IsNaN(est.Count) || math.IsInf(est.Count, 0) || math.IsNaN(est.StdErr) {
+			t.Fatalf("gamma=%v: non-finite estimate %+v", gamma, est)
+		}
+		if i > 0 && est.StdErr <= prevStdErr {
+			t.Fatalf("stderr did not grow toward singularity: %v then %v", prevStdErr, est.StdErr)
+		}
+		prevStdErr = est.StdErr
+		if est.Lo > est.Count || est.Hi < est.Count {
+			t.Fatalf("gamma=%v: CI [%v, %v] excludes its own point estimate %v", gamma, est.Lo, est.Hi, est.Count)
+		}
+	}
+
+	// Exactly singular: d̄ == ō.
+	singular := core.UniformMatrix{N: 6, Diag: 1.0 / 6, Off: 1.0 / 6}
+	if _, err := Reconstruct(y, n, singular); !errors.Is(err, ErrQuery) {
+		t.Fatalf("singular marginal err %v, want ErrQuery", err)
+	}
+}
+
+// TestReconstructCIWidthMonotonicInN: at a fixed observed proportion
+// p̂, the RELATIVE confidence-interval width must shrink monotonically
+// as N grows (the absolute width grows like √N, the relative width
+// decays like 1/√N) — more submissions always buy a tighter estimate.
+func TestReconstructCIWidthMonotonicInN(t *testing.T) {
+	marg := testMarginal(t, 24, 6, 19)
+	const phat = 0.3
+	var prevRel, prevAbs float64
+	for i, n := range []int{100, 1000, 10000, 100000, 1000000} {
+		est, err := Reconstruct(phat*float64(n), n, marg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs := est.Hi - est.Lo
+		rel := abs / float64(n)
+		if abs <= 0 {
+			t.Fatalf("n=%d: non-positive CI width %v", n, abs)
+		}
+		if i > 0 {
+			if rel >= prevRel {
+				t.Fatalf("relative CI width did not shrink: n=%d gives %v after %v", n, rel, prevRel)
+			}
+			if abs <= prevAbs {
+				t.Fatalf("absolute CI width should grow like sqrt(N): n=%d gives %v after %v", n, abs, prevAbs)
+			}
+		}
+		prevRel, prevAbs = rel, abs
+		// The interval is symmetric about the point estimate and the
+		// z-scaling of the standard error.
+		if math.Abs((est.Hi+est.Lo)/2-est.Count) > 1e-6 {
+			t.Fatalf("n=%d: CI not centered: %+v", n, est)
+		}
+	}
+}
+
+// TestReconstructMatchesHandComputation pins the closed form on one
+// hand-checked instance.
+func TestReconstructMatchesHandComputation(t *testing.T) {
+	marg := core.UniformMatrix{N: 4, Diag: 0.7, Off: 0.1}
+	y, n := 30.0, 100
+	est, err := Reconstruct(y, n, marg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := 0.7 - 0.1
+	wantCount := (y - 0.1*float64(n)) / a
+	phat := y / float64(n)
+	wantStdErr := math.Sqrt(float64(n)*phat*(1-phat)) / a
+	if math.Abs(est.Count-wantCount) > 1e-12 || math.Abs(est.StdErr-wantStdErr) > 1e-12 {
+		t.Fatalf("est %+v, want count %v stderr %v", est, wantCount, wantStdErr)
+	}
+	if math.Abs(est.Lo-(wantCount-z95*wantStdErr)) > 1e-12 || math.Abs(est.Hi-(wantCount+z95*wantStdErr)) > 1e-12 {
+		t.Fatalf("CI %+v, want z95 interval", est)
+	}
+	if est.N != n {
+		t.Fatalf("N %d, want %d", est.N, n)
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +14,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/federation"
+	"repro/internal/mining"
 )
 
 // Client is the user-side library: it fetches the published schema and
@@ -313,6 +316,43 @@ func (c *Client) Query(filter QueryFilter) (QueryEstimate, error) {
 		return QueryEstimate{}, err
 	}
 	return qr.Estimates[0], nil
+}
+
+// Replicate pulls one counter delta from the server — the client side
+// of GET /v1/replicate. since is the stream position a previous pull's
+// ToVersion reported (0 for first contact) and gen the counter
+// generation it was reported under; the server falls back to a full
+// delta whenever the pair no longer chains. Mostly used by federation
+// coordinators (internal/federation); exposed here so external tooling
+// can mirror a site's privacy-safe counts too.
+func (c *Client) Replicate(since, gen uint64) (*mining.CounterDelta, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/v1/replicate?since=%d&gen=%d", c.base, since, gen))
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: replicate returned %s", ErrService, resp.Status)
+	}
+	var d mining.CounterDelta
+	if err := gob.NewDecoder(io.LimitReader(resp.Body, mining.MaxDeltaWireBytes)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("%w: bad replicate payload: %v", ErrService, err)
+	}
+	return &d, nil
+}
+
+// FederationStats queries the federation health block of /v1/stats —
+// per-peer sync state, lag, and the global version vector. Errors when
+// the server is not a federation coordinator.
+func (c *Client) FederationStats() (*federation.Stats, error) {
+	sr, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	if sr.Federation == nil {
+		return nil, fmt.Errorf("%w: server is not a federation coordinator", ErrService)
+	}
+	return sr.Federation, nil
 }
 
 // Stats queries the collection state.

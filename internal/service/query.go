@@ -76,6 +76,10 @@ type QueryResponse struct {
 	// collection; the generation disambiguates, exactly as it does for
 	// the server's internal mining-result cache.
 	CounterGeneration uint64 `json:"counter_generation"`
+	// VersionVector, present only on a federation coordinator, maps peer
+	// URL → replication position: exactly which per-site states the
+	// merged counter these estimates were answered from reflects.
+	VersionVector map[string]uint64 `json:"version_vector,omitempty"`
 	// Estimates are in filter order.
 	Estimates []QueryEstimate `json:"estimates"`
 }
@@ -212,6 +216,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Records:           ests[0].N,
 		SnapshotVersion:   version,
 		CounterGeneration: ref.gen,
+		VersionVector:     ref.vector,
 		Estimates:         make([]QueryEstimate, len(ests)),
 	}
 	for i, e := range ests {

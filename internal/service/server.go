@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/federation"
 	"repro/internal/mining"
 )
 
@@ -61,12 +62,21 @@ type Server struct {
 	jobs    *jobStore
 	// queryLimit caps the filters of one /v1/query batch (see query.go).
 	queryLimit int
+	// fed, when set, marks this server as a federation coordinator (see
+	// replicate.go): its counter is the merged global view published by
+	// the sync loop, and direct submissions are refused. Atomic because
+	// EnableFederation may legally race in-flight request handlers.
+	fed atomic.Pointer[federation.Coordinator]
 }
 
-// counterRef pairs a counter with the cache generation it belongs to.
+// counterRef pairs a counter with the cache generation it belongs to
+// and — on a federation coordinator — the per-peer version vector the
+// counter reflects. The three travel as one atomic unit so a response
+// can never stamp a counter with another counter's provenance.
 type counterRef struct {
 	counter *mining.ShardedGammaCounter
 	gen     uint64
+	vector  map[string]uint64
 }
 
 // Option configures a Server.
@@ -173,6 +183,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/mine-jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/mine-jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/mine-jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/replicate", s.handleReplicate)
 	return mux
 }
 
@@ -233,6 +244,10 @@ func (s *Server) decodeRecord(rj RecordJSON) (dataset.Record, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Federated() {
+		httpError(w, http.StatusForbidden, errFederated)
+		return
+	}
 	var rj RecordJSON
 	if err := json.NewDecoder(r.Body).Decode(&rj); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
@@ -251,6 +266,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.Federated() {
+		httpError(w, http.StatusForbidden, errFederated)
+		return
+	}
 	var batch []RecordJSON
 	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
@@ -294,6 +313,10 @@ type StatsResponse struct {
 	// the number of Apriori executions so far (cache hits excluded).
 	MineWorkers int   `json:"mine_workers"`
 	MineRuns    int64 `json:"mine_runs"`
+	// Federation, present only on a federation coordinator, carries the
+	// per-peer health table and the version vector of the published
+	// global counter (see replicate.go).
+	Federation *federation.Stats `json:"federation,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -304,7 +327,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// too under concurrent ingestion.
 	ref := s.counter.Load()
 	version := ref.counter.Version()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Records:           ref.counter.N(),
 		Gamma:             s.gamma,
 		ConditionNumber:   s.matrix.Cond(),
@@ -314,7 +337,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CounterGeneration: ref.gen,
 		MineWorkers:       s.MineWorkers(),
 		MineRuns:          s.AprioriRuns(),
-	})
+	}
+	if fed := s.fed.Load(); fed != nil {
+		resp.Federation = fed.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // MineResponse is the reconstructed mining model.
@@ -324,11 +351,15 @@ type MineResponse struct {
 	// SnapshotVersion is the counter version this model is exact for;
 	// Cached reports that the frequent itemsets came from the
 	// version-keyed result cache rather than a fresh Apriori run.
-	SnapshotVersion uint64        `json:"snapshot_version"`
-	Cached          bool          `json:"cached,omitempty"`
-	Counts          []int         `json:"counts_by_length"`
-	Itemsets        []ItemsetJSON `json:"itemsets"`
-	Rules           []RuleJSON    `json:"rules,omitempty"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	Cached          bool   `json:"cached,omitempty"`
+	// VersionVector, present only on a federation coordinator, maps peer
+	// URL → replication position: exactly which per-site states the
+	// merged counter this model was mined from reflects.
+	VersionVector map[string]uint64 `json:"version_vector,omitempty"`
+	Counts        []int             `json:"counts_by_length"`
+	Itemsets      []ItemsetJSON     `json:"itemsets"`
+	Rules         []RuleJSON        `json:"rules,omitempty"`
 }
 
 // ItemsetJSON is one frequent itemset on the wire.
@@ -477,6 +508,7 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 		}
 		resp.SnapshotVersion = key.version
 		resp.Cached = true
+		resp.VersionVector = ref.vector
 		return resp, key.version, true, nil
 	}
 	// Mine a frozen snapshot so every Apriori pass sees one consistent
@@ -502,6 +534,7 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 		return nil, version, false, err
 	}
 	resp.SnapshotVersion = version
+	resp.VersionVector = ref.vector
 	return resp, version, false, nil
 }
 
