@@ -499,8 +499,16 @@ func BenchmarkMaterializedInsert(b *testing.B) {
 // single-striped and sharded counters.
 type ingestCounter interface {
 	Add(dataset.Record) error
-	Snapshot() *mining.MaterializedGammaCounter
+	Snapshot() mining.SupportCounter
 }
+
+// singleCounter adapts the single-mutex counter's concrete Snapshot to
+// the shared bench surface.
+type singleCounter struct {
+	*mining.MaterializedGammaCounter
+}
+
+func (s singleCounter) Snapshot() mining.SupportCounter { return s.MaterializedGammaCounter.Snapshot() }
 
 // benchConcurrentIngest splits b.N submissions across g goroutines — the
 // shape of g HTTP handlers draining a busy submit endpoint.
@@ -543,7 +551,7 @@ func BenchmarkConcurrentIngest(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			benchConcurrentIngest(b, c, g)
+			benchConcurrentIngest(b, singleCounter{c}, g)
 		})
 		b.Run(fmt.Sprintf("sharded/submitters=%d", g), func(b *testing.B) {
 			c, err := mining.NewShardedGammaCounter(sc, m, 0)
@@ -601,7 +609,7 @@ func BenchmarkConcurrentIngestAndMine(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		run(b, c)
+		run(b, singleCounter{c})
 	})
 	b.Run("sharded", func(b *testing.B) {
 		c, err := mining.NewShardedGammaCounter(sc, m, 0)

@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	frapp-bench [-exp all|table1|table2|table3|fig1|fig2|fig3|fig4|params]
+//	frapp-bench [-exp all|table1|table2|table3|fig1|fig2|fig3|fig4|params|live]
 //	            [-quick] [-census-n N] [-health-n N] [-seed S]
 //	            [-minsup F] [-steps K] [-json results.json]
+//
+// -exp live benchmarks the LIVE counter stack (the collection service's
+// substrate) across every perturbation scheme — gamma, MASK, and
+// cut-and-paste: ingest throughput, snapshot+Apriori mining latency,
+// and query-estimate latency, each emitted into the -json report with a
+// "scheme" dimension so BENCH_smoke.json tracks per-scheme throughput
+// across commits.
 //
 // Each experiment prints a text rendering of the corresponding paper
 // artifact. -quick shrinks the datasets for a fast smoke run.
@@ -22,20 +29,27 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/bits"
+	"math/rand"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiment"
+	"repro/internal/mining"
 )
 
 // benchRecord is one measurement in the -json report.
 type benchRecord struct {
-	Experiment string  `json:"experiment"`
-	Metric     string  `json:"metric"`
-	Value      float64 `json:"value"`
-	Unit       string  `json:"unit,omitempty"`
+	Experiment string `json:"experiment"`
+	// Scheme is the perturbation-scheme dimension of live-counter
+	// measurements (gamma, mask, cutpaste); empty for scheme-free
+	// experiments.
+	Scheme string  `json:"scheme,omitempty"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit,omitempty"`
 	// NsPerOp is set for timing metrics: nanoseconds for one run of the
 	// experiment at this configuration.
 	NsPerOp float64 `json:"ns_per_op,omitempty"`
@@ -82,6 +96,16 @@ func (r *recorder) value(experiment, metric string, v float64, unit string) {
 	r.results = append(r.results, benchRecord{Experiment: experiment, Metric: metric, Value: v, Unit: unit})
 }
 
+// schemeRecord is one measurement of the per-scheme live-counter bench.
+func (r *recorder) schemeRecord(experiment, scheme, metric string, v float64, unit string, nsPerOp float64) {
+	if r == nil {
+		return
+	}
+	r.results = append(r.results, benchRecord{
+		Experiment: experiment, Scheme: scheme, Metric: metric, Value: v, Unit: unit, NsPerOp: nsPerOp,
+	})
+}
+
 // write renders the report atomically enough for CI consumption (one
 // final write, no partial sections).
 func (r *recorder) write(path string, cfg benchConfig) error {
@@ -98,7 +122,7 @@ func (r *recorder) write(path string, cfg benchConfig) error {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig1, fig2, fig3, fig4, params, recon, classify, relax, gammasweep")
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig1, fig2, fig3, fig4, params, recon, classify, relax, gammasweep, live")
 		quick    = flag.Bool("quick", false, "use reduced dataset sizes for a fast smoke run")
 		censusN  = flag.Int("census-n", 0, "override CENSUS record count (default 50000, 8000 with -quick)")
 		healthN  = flag.Int("health-n", 0, "override HEALTH record count (default 100000, 8000 with -quick)")
@@ -311,6 +335,13 @@ func run(exp string, cfg experiment.Config, steps, trials int, jsonPath string) 
 			return err
 		}
 	}
+	if want("live") {
+		if err := section("Live counters — per-scheme ingest/mine/query throughput", func() error {
+			return liveBench(cfg, gamma, rec)
+		}); err != nil {
+			return err
+		}
+	}
 	if want("fig4") {
 		if err := section("Figure 4 — condition numbers", func() error {
 			for _, b := range []*experiment.Bundle{census, health} {
@@ -337,6 +368,142 @@ func run(exp string, cfg experiment.Config, steps, trials int, jsonPath string) 
 		fmt.Printf("[json] %d results written to %s\n", len(rec.results), jsonPath)
 	}
 	return nil
+}
+
+// liveBench measures the scheme-polymorphic live counter stack — the
+// exact substrate frapp-server runs per -scheme — on a CENSUS-sized
+// workload: ingest (records/s through a sharded counter), mine
+// (snapshot + Apriori wall time), and query (a 32-filter estimate
+// batch). One row and one set of -json records per scheme.
+func liveBench(cfg experiment.Config, gamma float64, rec *recorder) error {
+	schema := dataset.CensusSchema()
+	n := cfg.CensusN / 4
+	if n < 1000 {
+		n = 1000
+	}
+	db, err := dataset.GenerateCensus(n, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	// A 32-filter query batch over arities 1..2.
+	var filters []mining.Itemset
+	for a := 0; a < schema.M() && len(filters) < 16; a++ {
+		for v := 0; v < schema.Attrs[a].Cardinality() && len(filters) < 16; v += 2 {
+			filters = append(filters, mining.Itemset{{Attr: a, Value: v}})
+		}
+	}
+	for a := 0; a+1 < schema.M() && len(filters) < 32; a++ {
+		filters = append(filters, mining.Itemset{{Attr: a, Value: 0}, {Attr: a + 1, Value: 1}})
+	}
+
+	for _, name := range mining.SchemeNames() {
+		scheme, err := mining.SchemeForContract(name, schema, gamma)
+		if err != nil {
+			return err
+		}
+		records, err := perturbForScheme(scheme, db, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		counter, err := mining.NewShardedCounter(scheme, 0)
+		if err != nil {
+			return err
+		}
+
+		t0 := time.Now()
+		for _, items := range records {
+			if err := counter.Ingest(items); err != nil {
+				return err
+			}
+		}
+		ingest := time.Since(t0)
+
+		t0 = time.Now()
+		snap, _ := counter.SnapshotVersioned()
+		if _, err := mining.Apriori(snap, cfg.MinSupport); err != nil {
+			return err
+		}
+		mine := time.Since(t0)
+
+		t0 = time.Now()
+		const queryReps = 20
+		for i := 0; i < queryReps; i++ {
+			if _, _, err := counter.Estimates(filters); err != nil {
+				return err
+			}
+		}
+		query := time.Since(t0) / queryReps
+
+		ingestNs := float64(ingest.Nanoseconds()) / float64(len(records))
+		fmt.Printf("%-9s ingest %8.0f rec/s (%6.0f ns/rec)   mine %8s   query(32 filters) %8s\n",
+			name, float64(len(records))/ingest.Seconds(), ingestNs, mine.Round(time.Microsecond), query.Round(time.Microsecond))
+		rec.schemeRecord("live_ingest", name, "ns_per_record", ingestNs, "ns", ingestNs)
+		rec.schemeRecord("live_mine", name, "wall_time", float64(mine.Nanoseconds()), "ns", float64(mine.Nanoseconds()))
+		rec.schemeRecord("live_query_batch32", name, "wall_time", float64(query.Nanoseconds()), "ns", float64(query.Nanoseconds()))
+	}
+	return nil
+}
+
+// perturbForScheme perturbs the database client-side under the scheme's
+// contract and renders each perturbed record as the item list the live
+// counter ingests.
+func perturbForScheme(scheme mining.CounterScheme, db *dataset.Database, seed int64) ([][]mining.Item, error) {
+	rng := rand.New(rand.NewSource(seed))
+	schema := db.Schema
+	switch sc := scheme.(type) {
+	case *mining.GammaScheme:
+		p, err := core.NewGammaPerturber(schema, sc.Matrix())
+		if err != nil {
+			return nil, err
+		}
+		pdb, err := core.PerturbDatabase(db, p, rng)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]mining.Item, pdb.N())
+		for i, rec := range pdb.Records {
+			items := make([]mining.Item, len(rec))
+			for j, v := range rec {
+				items[j] = mining.Item{Attr: j, Value: v}
+			}
+			out[i] = items
+		}
+		return out, nil
+	case *mining.MaskCounterScheme:
+		bdb, err := sc.Mask().PerturbDatabase(db, rng)
+		if err != nil {
+			return nil, err
+		}
+		return rowsToItems(sc.Mask().Mapping, bdb.Rows), nil
+	case *mining.CutPasteCounterScheme:
+		bdb, err := sc.CutPaste().PerturbDatabase(db, rng)
+		if err != nil {
+			return nil, err
+		}
+		return rowsToItems(sc.CutPaste().Mapping, bdb.Rows), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme.Name())
+	}
+}
+
+// rowsToItems converts perturbed boolean rows into ingestable item
+// lists.
+func rowsToItems(m *core.BoolMapping, rows []uint64) [][]mining.Item {
+	out := make([][]mining.Item, len(rows))
+	for i, row := range rows {
+		var items []mining.Item
+		for b := row; b != 0; b &= b - 1 {
+			bit := bits.TrailingZeros64(b)
+			for j := m.Schema.M() - 1; j >= 0; j-- {
+				if bit >= m.Offsets[j] {
+					items = append(items, mining.Item{Attr: j, Value: bit - m.Offsets[j]})
+					break
+				}
+			}
+		}
+		out[i] = items
+	}
+	return out
 }
 
 func printParams(cfg experiment.Config, gamma float64) error {

@@ -7,11 +7,21 @@
 // Usage:
 //
 //	frapp-server [-addr :8080] [-schema census|health]
+//	             [-scheme gamma|mask|cutpaste]
 //	             [-rho1 0.05] [-rho2 0.50] [-state state.gob]
 //	             [-shards 0] [-mine-workers 2] [-job-ttl 15m]
 //	             [-query-limit 1024]
 //	             [-peers http://site-a:8080,http://site-b:8080]
 //	             [-sync-interval 5s]
+//
+// -scheme selects the perturbation scheme the whole stack runs under:
+// gamma (default — the paper's optimal gamma-diagonal matrix), mask, or
+// cutpaste. The scheme's parameters are derived from the published
+// (schema, γ) contract, advertised on GET /v1/schema and /v1/stats, and
+// validated by clients at NewClient time; every subsystem (ingestion,
+// /v1/query estimation, mining jobs, -state persistence, federation
+// deltas) follows the negotiated scheme, and cross-scheme state or
+// replication payloads are rejected, never merged.
 //
 // -shards stripes the ingestion counter so concurrent submissions never
 // contend on one lock; 0 (the default) means one shard per core.
@@ -60,6 +70,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		schemaName   = flag.String("schema", "census", "published schema: census or health")
+		scheme       = flag.String("scheme", "gamma", "perturbation scheme: gamma, mask, or cutpaste")
 		rho1         = flag.Float64("rho1", 0.05, "privacy prior bound rho1")
 		rho2         = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
 		state        = flag.String("state", "", "state file for restart durability (optional)")
@@ -72,7 +83,7 @@ func main() {
 	)
 	flag.Parse()
 	cfg := serverConfig{
-		addr: *addr, schema: *schemaName, rho1: *rho1, rho2: *rho2,
+		addr: *addr, schema: *schemaName, scheme: *scheme, rho1: *rho1, rho2: *rho2,
 		state: *state, shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
 		queryLimit: *queryLimit, peers: *peers, syncInterval: *syncInterval,
 	}
@@ -90,6 +101,7 @@ func main() {
 type serverConfig struct {
 	addr         string
 	schema       string
+	scheme       string
 	rho1, rho2   float64
 	state        string
 	shards       int
@@ -121,6 +133,7 @@ func run(ctx context.Context, cfg serverConfig) error {
 	}
 	spec := core.PrivacySpec{Rho1: cfg.rho1, Rho2: cfg.rho2}
 	opts := []service.Option{
+		service.WithScheme(cfg.scheme),
 		service.WithShards(cfg.shards),
 		service.WithMineWorkers(cfg.mineWorkers),
 		service.WithJobTTL(cfg.jobTTL),
@@ -143,10 +156,11 @@ func run(ctx context.Context, cfg serverConfig) error {
 
 	var coord *federation.Coordinator
 	if cfg.peers != "" {
-		// The coordinator is built over the server's OWN schema and
-		// matrix (not re-derived ones), so its compatibility fingerprint
-		// can never drift from what ReplaceCounter will accept.
-		coord, err = federation.NewCoordinator(sc, srv.Matrix(), strings.Split(cfg.peers, ","),
+		// The coordinator is built over the server's OWN scheme contract
+		// (not a re-derived one), so its compatibility fingerprint can
+		// never drift from what ReplaceCounter will accept — and a peer
+		// running a different scheme is rejected, never merged.
+		coord, err = federation.NewCoordinator(srv.CounterScheme(), strings.Split(cfg.peers, ","),
 			srv.ReplaceCounter, federation.WithSyncInterval(cfg.syncInterval))
 		if err != nil {
 			return err
@@ -164,8 +178,8 @@ func run(ctx context.Context, cfg serverConfig) error {
 			len(coord.Peers()), coord.SyncInterval())
 	}
 
-	log.Printf("frapp-server: schema=%s records=%d shards=%d mine-workers=%d listening on %s",
-		sc.Name, srv.N(), srv.Shards(), srv.MineWorkers(), cfg.addr)
+	log.Printf("frapp-server: schema=%s scheme=%s records=%d shards=%d mine-workers=%d listening on %s",
+		sc.Name, srv.Scheme(), srv.N(), srv.Shards(), srv.MineWorkers(), cfg.addr)
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

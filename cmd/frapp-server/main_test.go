@@ -269,3 +269,86 @@ func TestRunFederationCoordinator(t *testing.T) {
 		t.Fatalf("coordinator submit returned %s, want 403", resp.Status)
 	}
 }
+
+// TestRunSchemeFlag: -scheme selects the live perturbation scheme for
+// the whole stack — advertised on /v1/schema and /v1/stats, with
+// boolean-scheme submissions accepted on the wire — and unknown scheme
+// names are rejected at startup.
+func TestRunSchemeFlag(t *testing.T) {
+	if err := run(context.Background(), serverConfig{addr: ":0", schema: "census",
+		rho1: 0.05, rho2: 0.5, scheme: "rot13"}); err == nil {
+		t.Fatal("unknown -scheme accepted")
+	}
+
+	addr := freePort(t)
+	cfg := serverConfig{
+		addr: addr, schema: "census", rho1: 0.05, rho2: 0.5,
+		scheme: "mask", shards: 2, mineWorkers: 1, jobTTL: time.Minute,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg) }()
+	base := "http://" + addr
+	waitUp(t, base)
+
+	resp, err := http.Get(base + "/v1/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Scheme struct {
+			Name  string  `json:"name"`
+			MaskP float64 `json:"mask_p"`
+		} `json:"scheme"`
+		Attributes []struct {
+			Name       string   `json:"name"`
+			Categories []string `json:"categories"`
+		} `json:"attributes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.Scheme.Name != "mask" || !(sr.Scheme.MaskP > 0.5 && sr.Scheme.MaskP < 1) {
+		t.Fatalf("advertised scheme %+v, want mask with p in (0.5,1)", sr.Scheme)
+	}
+
+	// A boolean-scheme submission: attribute -> asserted category list.
+	sub := map[string][]string{
+		sr.Attributes[0].Name: {sr.Attributes[0].Categories[0], sr.Attributes[0].Categories[1]},
+		sr.Attributes[1].Name: {sr.Attributes[1].Categories[0]},
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Post(base+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("mask submit returned %s", sresp.Status)
+	}
+
+	stats, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Scheme  string `json:"scheme"`
+		Records int    `json:"records"`
+	}
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stats.Body.Close()
+	if st.Scheme != "mask" || st.Records != 1 {
+		t.Fatalf("stats %+v, want scheme=mask records=1", st)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

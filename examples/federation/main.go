@@ -51,11 +51,12 @@ func main() {
 	}
 
 	// One coordinator serving the merged global view, built over the
-	// coordinator server's own matrix so the contracts cannot drift.
+	// coordinator server's own scheme contract so the contracts cannot
+	// drift.
 	coordSrv, err := frapp.NewCollectionServer(schema, priv)
 	check(err)
 	defer coordSrv.Close()
-	coord, err := frapp.NewFederationCoordinator(schema, coordSrv.Matrix(), peerURL, coordSrv.ReplaceCounter)
+	coord, err := frapp.NewFederationCoordinator(coordSrv.CounterScheme(), peerURL, coordSrv.ReplaceCounter)
 	check(err)
 	defer coord.Close()
 	check(coordSrv.EnableFederation(coord))

@@ -71,6 +71,9 @@ var (
 	WithHTTPClient = service.WithHTTPClient
 	// WithCollectionShards sets the server's ingestion stripe count.
 	WithCollectionShards = service.WithShards
+	// WithCollectionScheme selects the server's perturbation scheme:
+	// gamma (default), mask, or cutpaste.
+	WithCollectionScheme = service.WithScheme
 	// WithMineWorkers bounds concurrently executing mining jobs.
 	WithMineWorkers = service.WithMineWorkers
 	// WithJobTTL sets the retention of finished mining jobs.
@@ -94,7 +97,7 @@ type (
 	FederationPeerStatus = federation.PeerStatus
 	// CounterDelta is one replication pull's payload: the sparse joint-
 	// histogram change between two stream positions, fingerprinted with
-	// the (schema, matrix) contract it was counted under.
+	// the (scheme, schema, parameters) contract it was counted under.
 	CounterDelta = mining.CounterDelta
 	// DeltaCell is one changed joint-histogram cell of a CounterDelta.
 	DeltaCell = mining.DeltaCell
@@ -112,10 +115,13 @@ var (
 	WithSyncMaxBackoff = federation.WithMaxBackoff
 	// WithFederationHTTPClient substitutes the coordinator's transport.
 	WithFederationHTTPClient = federation.WithHTTPClient
-	// CounterCompatibilityFingerprint hashes the (schema, matrix)
-	// contract two sites must share before their counters may merge.
+	// CounterCompatibilityFingerprint hashes the gamma (schema, matrix)
+	// contract two sites must share before their counters may merge; the
+	// boolean schemes seal their parameters through CounterScheme
+	// fingerprints instead.
 	CounterCompatibilityFingerprint = mining.CompatibilityFingerprint
-	// NewShardedFromSnapshot wraps a frozen merged counter for serving.
+	// NewShardedFromSnapshot wraps a frozen merged gamma counter for
+	// serving; NewLiveFromCore is the scheme-generic form.
 	NewShardedFromSnapshot = mining.NewShardedFromSnapshot
 )
 
@@ -180,9 +186,10 @@ type (
 	// database, with variance-based confidence intervals.
 	QueryEngine = query.Engine
 	// CounterQueryEngine answers the same queries from an incrementally
-	// materialized counter in O(#filters) histogram lookups — the
+	// materialized counter in O(#filters) merged-observable lookups — the
 	// collection service's live /v1/query path, usable directly over any
-	// ShardedGammaCounter or MaterializedCounter.
+	// live counter (NewLiveCounterQueryEngine, any scheme) or gamma
+	// counter (NewCounterQueryEngine).
 	CounterQueryEngine = query.CounterEngine
 	// PerturbedSupportCounter is the counter surface the counter-backed
 	// query engine needs: raw perturbed match counts plus the record
@@ -196,9 +203,11 @@ var (
 	// NewQueryEngine builds the record-scan engine for one perturbed
 	// database.
 	NewQueryEngine = query.NewEngine
-	// NewCounterQueryEngine builds the counter-backed engine over a live
-	// counter.
-	NewCounterQueryEngine = query.NewCounterEngine
+	// NewCounterQueryEngine builds the counter-backed engine over a
+	// gamma counter; NewLiveCounterQueryEngine builds the scheme-generic
+	// engine over any LiveCounter.
+	NewCounterQueryEngine     = query.NewCounterEngine
+	NewLiveCounterQueryEngine = query.NewLiveCounterEngine
 	// ReconstructCountEstimate is the shared estimator core: marginal
 	// inversion of a perturbed match count with standard error and 95%
 	// z-interval.

@@ -178,8 +178,21 @@ var (
 	// collection service (instant mining, single-striped ingestion).
 	NewMaterializedGammaCounter = mining.NewMaterializedGammaCounter
 	// NewShardedGammaCounter builds the lock-striped incremental counter
-	// (linearly scalable concurrent ingestion).
+	// (linearly scalable concurrent ingestion) under the gamma scheme.
 	NewShardedGammaCounter = mining.NewShardedGammaCounter
+	// NewShardedCounter builds the lock-striped incremental counter for
+	// any CounterScheme — gamma, MASK, or cut-and-paste.
+	NewShardedCounter = mining.NewShardedCounter
+	// SchemeForContract derives a scheme's full counting contract from
+	// the published (schema, γ) privacy contract.
+	SchemeForContract = mining.SchemeForContract
+	// NewGammaScheme, NewMaskCounterScheme, and NewCutPasteCounterScheme
+	// wrap validated mechanisms as counting contracts.
+	NewGammaScheme           = mining.NewGammaScheme
+	NewMaskCounterScheme     = mining.NewMaskCounterScheme
+	NewCutPasteCounterScheme = mining.NewCutPasteCounterScheme
+	// SchemeNames lists the supported live schemes.
+	SchemeNames = mining.SchemeNames
 	// GenerateRules derives association rules from a mining result.
 	GenerateRules = mining.GenerateRules
 	// EvaluateAccuracy compares mined output with ground truth.
@@ -196,15 +209,39 @@ type GammaCounter = mining.GammaCounter
 // histogram so mining never rescans submissions.
 type MaterializedGammaCounter = mining.MaterializedGammaCounter
 
-// ShardedGammaCounter is the lock-striped MaterializedGammaCounter used
+// LiveCounter is the scheme-polymorphic live ingestion counter: the one
+// interface the collection service, query engine, mining jobs,
+// persistence, and federation all program against. Gamma, MASK, and
+// cut-and-paste each implement it through a ShardedCounter over their
+// CounterScheme.
+type LiveCounter = mining.LiveCounter
+
+// CounterScheme identifies one perturbation scheme's counting contract
+// (name, schema, parameters, fingerprint) and constructs its cores.
+type CounterScheme = mining.CounterScheme
+
+// GammaScheme, MaskCounterScheme, and CutPasteCounterScheme are the
+// three CounterScheme implementations (gamma-diagonal, MASK, and
+// cut-and-paste).
+type (
+	GammaScheme           = mining.GammaScheme
+	MaskCounterScheme     = mining.MaskCounterScheme
+	CutPasteCounterScheme = mining.CutPasteCounterScheme
+)
+
+// PointEstimate is one scheme-reconstructed count estimate with its
+// standard error — the shape every scheme's query estimator answers in.
+type PointEstimate = mining.PointEstimate
+
+// ShardedCounter is the lock-striped scheme-generic live counter used
 // by the collection service's concurrent ingestion path. It carries a
 // monotonic snapshot version (Version, SnapshotVersioned) that advances
 // with every ingested record, letting callers cache mining results for
 // as long as the counter content is provably unchanged — the mechanism
 // behind the collection service's asynchronous mining jobs — and
-// answers raw perturbed match counts (PerturbedSupports) for the
-// counter-backed interactive query engine without scanning records.
-type ShardedGammaCounter = mining.ShardedGammaCounter
+// answers raw perturbed match counts (PerturbedSupports) and
+// scheme-correct query estimates (Estimates) without scanning records.
+type ShardedCounter = mining.ShardedCounter
 
 // MaskCounter reconstructs supports under MASK perturbation.
 type MaskCounter = mining.MaskCounter

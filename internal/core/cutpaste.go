@@ -142,44 +142,53 @@ func FindRhoForGamma(m *BoolMapping, k int, gamma, target float64) (float64, err
 	return best, nil
 }
 
+// PerturbRecord applies the operator to one categorical record — the
+// client-side unit of C&P perturbation.
+func (s *CutPasteScheme) PerturbRecord(rec dataset.Record, rng *rand.Rand) (uint64, error) {
+	m := s.Mapping.Schema.M()
+	t, err := s.Mapping.Encode(rec)
+	if err != nil {
+		return 0, err
+	}
+	// Enumerate t's items.
+	items := make([]int, 0, m)
+	for b := t; b != 0; b &= b - 1 {
+		items = append(items, bits.TrailingZeros64(b))
+	}
+	// Cut: keep a uniform w-subset, w = min(uniform{0..K}, M).
+	w := rng.Intn(s.K + 1)
+	if w > m {
+		w = m
+	}
+	var v uint64
+	// Partial Fisher–Yates for the w kept items.
+	for x := 0; x < w; x++ {
+		y := x + rng.Intn(len(items)-x)
+		items[x], items[y] = items[y], items[x]
+		v |= 1 << uint(items[x])
+	}
+	// Paste within: unselected items of t.
+	for _, it := range items[w:] {
+		if rng.Float64() < s.Rho {
+			v |= 1 << uint(it)
+		}
+	}
+	// Paste outside: items of the universe not in t.
+	for b := 0; b < s.Mapping.Mb; b++ {
+		if t&(1<<uint(b)) == 0 && rng.Float64() < s.Rho {
+			v |= 1 << uint(b)
+		}
+	}
+	return v, nil
+}
+
 // PerturbDatabase applies the operator to every record.
 func (s *CutPasteScheme) PerturbDatabase(db *dataset.Database, rng *rand.Rand) (*BoolDatabase, error) {
-	m := s.Mapping.Schema.M()
 	rows := make([]uint64, 0, db.N())
-	itemBuf := make([]int, m)
 	for i, rec := range db.Records {
-		t, err := s.Mapping.Encode(rec)
+		v, err := s.PerturbRecord(rec, rng)
 		if err != nil {
 			return nil, fmt.Errorf("record %d: %w", i, err)
-		}
-		// Enumerate t's items.
-		items := itemBuf[:0]
-		for b := t; b != 0; b &= b - 1 {
-			items = append(items, bits.TrailingZeros64(b))
-		}
-		// Cut: keep a uniform w-subset, w = min(uniform{0..K}, M).
-		w := rng.Intn(s.K + 1)
-		if w > m {
-			w = m
-		}
-		var v uint64
-		// Partial Fisher–Yates for the w kept items.
-		for x := 0; x < w; x++ {
-			y := x + rng.Intn(len(items)-x)
-			items[x], items[y] = items[y], items[x]
-			v |= 1 << uint(items[x])
-		}
-		// Paste within: unselected items of t.
-		for _, it := range items[w:] {
-			if rng.Float64() < s.Rho {
-				v |= 1 << uint(it)
-			}
-		}
-		// Paste outside: items of the universe not in t.
-		for b := 0; b < s.Mapping.Mb; b++ {
-			if t&(1<<uint(b)) == 0 && rng.Float64() < s.Rho {
-				v |= 1 << uint(b)
-			}
 		}
 		rows = append(rows, v)
 	}
@@ -253,6 +262,21 @@ func (s *CutPasteScheme) EstimateSupport(db *BoolDatabase, itemBits []int) (floa
 	for _, row := range db.Rows {
 		y[bits.OnesCount64(row&mask)]++
 	}
+	return s.ReconstructPartialCounts(y)
+}
+
+// ReconstructPartialCounts inverts the observed partial-support counts of
+// one length-l itemset — y[q] is the number of perturbed records
+// containing exactly q of the itemset's items, so len(y) must be l+1 —
+// and returns the estimated original support X̂[l]. This is the estimator
+// core shared by the record-scan EstimateSupport and the live
+// materialized counter, which accumulates the same partial supports
+// incrementally.
+func (s *CutPasteScheme) ReconstructPartialCounts(y []float64) (float64, error) {
+	l := len(y) - 1
+	if l < 1 || l > s.Mapping.Schema.M() {
+		return 0, fmt.Errorf("%w: partial support vector length %d out of [2,%d]", ErrPerturb, len(y), s.Mapping.Schema.M()+1)
+	}
 	a, err := s.PartialSupportMatrix(l)
 	if err != nil {
 		return 0, err
@@ -262,6 +286,27 @@ func (s *CutPasteScheme) EstimateSupport(db *BoolDatabase, itemBits []int) (floa
 		return 0, err
 	}
 	return x[l], nil
+}
+
+// PartialWeights returns the linear-estimator weights of
+// ReconstructPartialCounts for a length-l itemset: the estimate is
+// Σ_q w[q]·y[q] with w the last row of the partial-support matrix's
+// inverse, obtained by solving Aᵀ·w = e_l. The weights feed the plug-in
+// multinomial variance of the live query estimator.
+func (s *CutPasteScheme) PartialWeights(l int) ([]float64, error) {
+	a, err := s.PartialSupportMatrix(l)
+	if err != nil {
+		return nil, err
+	}
+	at := linalg.NewDense(l+1, l+1)
+	for i := 0; i <= l; i++ {
+		for j := 0; j <= l; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	e := make([]float64, l+1)
+	e[l] = 1
+	return linalg.Solve(at, e)
 }
 
 func min(a, b int) int {

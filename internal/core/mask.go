@@ -54,22 +54,33 @@ func NewMaskSchemeForPrivacy(m *BoolMapping, gamma float64) (*MaskScheme, error)
 	return NewMaskScheme(m, p)
 }
 
+// PerturbRecord encodes one categorical record and flips every bit
+// independently with probability 1−p — the client-side unit of MASK
+// perturbation.
+func (s *MaskScheme) PerturbRecord(rec dataset.Record, rng *rand.Rand) (uint64, error) {
+	b, err := s.Mapping.Encode(rec)
+	if err != nil {
+		return 0, err
+	}
+	var flip uint64
+	for k := 0; k < s.Mapping.Mb; k++ {
+		if rng.Float64() >= s.P {
+			flip |= 1 << uint(k)
+		}
+	}
+	return b ^ flip, nil
+}
+
 // PerturbDatabase flips every bit of every encoded record independently
 // with probability 1−p.
 func (s *MaskScheme) PerturbDatabase(db *dataset.Database, rng *rand.Rand) (*BoolDatabase, error) {
 	rows := make([]uint64, 0, db.N())
 	for i, rec := range db.Records {
-		b, err := s.Mapping.Encode(rec)
+		row, err := s.PerturbRecord(rec, rng)
 		if err != nil {
 			return nil, fmt.Errorf("record %d: %w", i, err)
 		}
-		var flip uint64
-		for k := 0; k < s.Mapping.Mb; k++ {
-			if rng.Float64() >= s.P {
-				flip |= 1 << uint(k)
-			}
-		}
-		rows = append(rows, b^flip)
+		rows = append(rows, row)
 	}
 	return &BoolDatabase{Mapping: s.Mapping, Rows: rows}, nil
 }
@@ -138,6 +149,24 @@ func (s *MaskScheme) EstimateSupport(db *BoolDatabase, itemBits []int) (float64,
 		}
 		counts[idx]++
 	}
+	return s.ReconstructPatternCounts(counts)
+}
+
+// ReconstructPatternCounts inverts the observed bit-combination counts of
+// one length-l itemset — counts[idx] is the number of perturbed records
+// whose itemset bits form pattern idx, so len(counts) must be 2^l — and
+// returns the estimated original support (the all-ones entry). This is
+// the estimator core shared by the record-scan EstimateSupport and the
+// live materialized counter, which accumulates the same pattern counts
+// incrementally.
+func (s *MaskScheme) ReconstructPatternCounts(counts []float64) (float64, error) {
+	n := len(counts)
+	l := bits.TrailingZeros(uint(n))
+	if n == 0 || n != 1<<uint(l) || l > 20 {
+		return 0, fmt.Errorf("%w: pattern count vector length %d is not a power of two within 2^20", ErrPerturb, n)
+	}
+	work := make([]float64, n)
+	copy(work, counts)
 	// Apply T2⁻¹ = [[p, −(1−p)], [−(1−p), p]]/(2p−1) along each axis.
 	det := 2*s.P - 1
 	ip, iq := s.P/det, -(1-s.P)/det
@@ -147,10 +176,29 @@ func (s *MaskScheme) EstimateSupport(db *BoolDatabase, itemBits []int) (float64,
 			if i&bit != 0 {
 				continue
 			}
-			y0, y1 := counts[i], counts[i|bit]
-			counts[i] = ip*y0 + iq*y1
-			counts[i|bit] = iq*y0 + ip*y1
+			y0, y1 := work[i], work[i|bit]
+			work[i] = ip*y0 + iq*y1
+			work[i|bit] = iq*y0 + ip*y1
 		}
 	}
-	return counts[n-1], nil
+	return work[n-1], nil
+}
+
+// PatternWeights returns the linear-estimator weights of
+// ReconstructPatternCounts for a length-l itemset: the estimate is
+// Σ_idx w[idx]·counts[idx], with w[idx] the all-ones row of the l-fold
+// tensor inverse — (p/(2p−1))^ones · (−(1−p)/(2p−1))^zeros. The weights
+// feed the plug-in multinomial variance of the live query estimator.
+func (s *MaskScheme) PatternWeights(l int) ([]float64, error) {
+	if l < 1 || l > 20 {
+		return nil, fmt.Errorf("%w: itemset length %d", ErrPerturb, l)
+	}
+	det := 2*s.P - 1
+	ip, iq := s.P/det, -(1-s.P)/det
+	w := make([]float64, 1<<uint(l))
+	for idx := range w {
+		ones := bits.OnesCount(uint(idx))
+		w[idx] = math.Pow(ip, float64(ones)) * math.Pow(iq, float64(l-ones))
+	}
+	return w, nil
 }

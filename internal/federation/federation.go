@@ -10,9 +10,14 @@
 // union of their submissions exactly, with no extra privacy cost. What
 // the coordinator must get right is therefore purely operational:
 //
-//   - Compatibility: a peer's deltas carry a fingerprint of its schema
-//     and perturbation matrix; a mismatched site is rejected, never
-//     merged (its counts live in different coordinates).
+//   - Compatibility: a peer's deltas carry a fingerprint of its
+//     perturbation scheme, schema, and scheme parameters; a mismatched
+//     site — including a site running a DIFFERENT scheme over the same
+//     schema — is rejected, never merged (its counts live in different
+//     coordinates). The whole federation runs under one negotiated
+//     scheme contract (gamma, MASK, or cut-and-paste), echoing
+//     heterogeneous-detector collaboration: cooperation requires an
+//     explicit shared contract, not an implicit assumption.
 //   - Incrementality: each pull sends GET /v1/replicate?since=V&gen=G,
 //     where V is the stream position the previous pull returned; the
 //     peer answers with a compact sparse delta, falling back to a full
@@ -42,8 +47,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/mining"
 )
 
@@ -147,7 +150,10 @@ type PeerStatus struct {
 // table, the version vector of the published global counter, and the
 // publish counters.
 type Stats struct {
-	Peers []PeerStatus `json:"peers"`
+	// Scheme is the federation's negotiated perturbation scheme: the one
+	// every peer must run, sealed into the contract fingerprint.
+	Scheme string       `json:"scheme"`
+	Peers  []PeerStatus `json:"peers"`
 	// Records is the record count of the last published global counter.
 	Records int `json:"records"`
 	// Publishes counts how many merged counters were published;
@@ -175,7 +181,7 @@ type peer struct {
 
 	// mu guards everything below.
 	mu        sync.Mutex
-	replica   *mining.MaterializedGammaCounter // nil until first sync
+	replica   mining.CounterCore // nil until first sync
 	version   uint64
 	gen       uint64
 	healthy   bool
@@ -189,10 +195,9 @@ type peer struct {
 // Coordinator pulls versioned deltas from a fixed peer registry, keeps a
 // per-peer replica, and publishes the merged global counter.
 type Coordinator struct {
-	schema      *dataset.Schema
-	matrix      core.UniformMatrix
+	scheme      mining.CounterScheme
 	fingerprint string
-	publish     func(*mining.ShardedGammaCounter, map[string]uint64) error
+	publish     func(mining.LiveCounter, map[string]uint64) error
 	replicate   ReplicateFunc
 	peers       []*peer
 	cfg         config
@@ -216,22 +221,18 @@ type Coordinator struct {
 	wg         sync.WaitGroup
 }
 
-// NewCoordinator validates the peer registry and prepares a coordinator.
-// publish is invoked with each freshly merged global counter and the
-// per-peer version vector it reflects (Server.ReplaceCounter in the
-// collection service); counter and vector are allocated per publish and
-// never touched again, so the hook may retain both. Nothing is pulled
-// until Start (background loops) or SyncAll (one synchronous pass).
-func NewCoordinator(schema *dataset.Schema, m core.UniformMatrix, peerURLs []string,
-	publish func(*mining.ShardedGammaCounter, map[string]uint64) error, opts ...Option) (*Coordinator, error) {
-	if schema == nil {
-		return nil, fmt.Errorf("%w: nil schema", ErrFederation)
-	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	if m.N != schema.DomainSize() {
-		return nil, fmt.Errorf("%w: matrix order %d vs domain %d", ErrFederation, m.N, schema.DomainSize())
+// NewCoordinator validates the peer registry and prepares a coordinator
+// over one scheme contract — every peer must run the same scheme, schema,
+// and parameters, sealed into the contract's fingerprint. publish is
+// invoked with each freshly merged global counter and the per-peer
+// version vector it reflects (Server.ReplaceCounter in the collection
+// service); counter and vector are allocated per publish and never
+// touched again, so the hook may retain both. Nothing is pulled until
+// Start (background loops) or SyncAll (one synchronous pass).
+func NewCoordinator(scheme mining.CounterScheme, peerURLs []string,
+	publish func(mining.LiveCounter, map[string]uint64) error, opts ...Option) (*Coordinator, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("%w: nil scheme contract", ErrFederation)
 	}
 	if publish == nil {
 		return nil, fmt.Errorf("%w: nil publish hook", ErrFederation)
@@ -249,9 +250,8 @@ func NewCoordinator(schema *dataset.Schema, m core.UniformMatrix, peerURLs []str
 		opt(&cfg)
 	}
 	co := &Coordinator{
-		schema:      schema,
-		matrix:      m,
-		fingerprint: mining.CompatibilityFingerprint(schema, m),
+		scheme:      scheme,
+		fingerprint: scheme.Fingerprint(),
 		publish:     publish,
 		cfg:         cfg,
 		quit:        make(chan struct{}),
@@ -426,15 +426,12 @@ func (co *Coordinator) syncPeer(ctx context.Context, p *peer) (changed bool, err
 		return false, err
 	}
 	if d.Fingerprint != co.fingerprint {
-		return false, fmt.Errorf("%w: peer fingerprint %.12s does not match coordinator %.12s (different schema or perturbation contract)",
+		return false, fmt.Errorf("%w: peer fingerprint %.12s does not match coordinator %.12s (different scheme, schema, or perturbation contract)",
 			ErrFederation, d.Fingerprint, co.fingerprint)
 	}
 
 	if d.Full() {
-		fresh, err := mining.NewMaterializedGammaCounter(co.schema, co.matrix)
-		if err != nil {
-			return false, err
-		}
+		fresh := co.scheme.NewCore()
 		if err := fresh.ApplyDelta(d); err != nil {
 			return false, err
 		}
@@ -479,10 +476,7 @@ func (co *Coordinator) syncPeer(ctx context.Context, p *peer) (changed bool, err
 func (co *Coordinator) publishMerged() {
 	co.pubMu.Lock()
 	defer co.pubMu.Unlock()
-	merged, err := mining.NewMaterializedGammaCounter(co.schema, co.matrix)
-	if err != nil {
-		return // construction validated at NewCoordinator; unreachable
-	}
+	merged := co.scheme.NewCore()
 	vector := make(map[string]uint64, len(co.peers))
 	for _, p := range co.peers {
 		// p.mu is held ACROSS the merge so the merged content and the
@@ -510,7 +504,7 @@ func (co *Coordinator) publishMerged() {
 		}
 		vector[p.url] = version
 	}
-	if err := co.publish(mining.NewShardedFromSnapshot(merged), vector); err != nil {
+	if err := co.publish(mining.NewLiveFromCore(co.scheme, merged), vector); err != nil {
 		// Same visibility argument: a publish hook that rejects the
 		// counter (e.g. a coordinator built with a contract differing
 		// from its server's) must not fail silently forever.
@@ -530,6 +524,7 @@ func (co *Coordinator) publishMerged() {
 // replication positions, which can run ahead of it between publishes.
 func (co *Coordinator) Stats() *Stats {
 	st := &Stats{
+		Scheme:        co.scheme.Name(),
 		VersionVector: make(map[string]uint64, len(co.peers)),
 		SyncInterval:  co.cfg.interval.Seconds(),
 	}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -20,6 +21,19 @@ import (
 )
 
 var testSpec = core.PrivacySpec{Rho1: 0.05, Rho2: 0.50} // γ = 19
+
+// stressScheme selects the perturbation scheme the federation suite
+// runs under: CI drives a gamma/mask/cutpaste matrix through the
+// FRAPP_STRESS_SCHEME environment variable; the default is gamma, which
+// every non-matrix test assumes.
+func stressScheme(t testing.TB) string {
+	t.Helper()
+	name := os.Getenv("FRAPP_STRESS_SCHEME")
+	if name == "" {
+		return mining.SchemeGamma
+	}
+	return name
+}
 
 func fedSchema(t testing.TB) *dataset.Schema {
 	t.Helper()
@@ -56,7 +70,7 @@ type site struct {
 
 func newSite(t testing.TB, schema *dataset.Schema) *site {
 	t.Helper()
-	srv, err := service.NewServer(schema, testSpec)
+	srv, err := service.NewServer(schema, testSpec, service.WithScheme(stressScheme(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +83,7 @@ func newSite(t testing.TB, schema *dataset.Schema) *site {
 // newCoordinator builds a coordinator server federated over the sites.
 func newCoordinator(t testing.TB, schema *dataset.Schema, sites []*site, opts ...federation.Option) (*service.Server, *federation.Coordinator, *httptest.Server) {
 	t.Helper()
-	srv, err := service.NewServer(schema, testSpec)
+	srv, err := service.NewServer(schema, testSpec, service.WithScheme(stressScheme(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +92,7 @@ func newCoordinator(t testing.TB, schema *dataset.Schema, sites []*site, opts ..
 	for i, s := range sites {
 		urls[i] = s.ts.URL
 	}
-	m := fedMatrix(t, schema)
-	coord, err := federation.NewCoordinator(schema, m, urls, srv.ReplaceCounter, opts...)
+	coord, err := federation.NewCoordinator(srv.CounterScheme(), urls, srv.ReplaceCounter, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +459,7 @@ func TestFederationFingerprintMismatchNeverMerges(t *testing.T) {
 func TestCoordinatorValidation(t *testing.T) {
 	schema := fedSchema(t)
 	m := fedMatrix(t, schema)
-	publish := func(*mining.ShardedGammaCounter, map[string]uint64) error { return nil }
+	publish := func(mining.LiveCounter, map[string]uint64) error { return nil }
 	cases := []struct {
 		name  string
 		peers []string
@@ -456,16 +469,20 @@ func TestCoordinatorValidation(t *testing.T) {
 		{"bad scheme", []string{"ftp://x"}},
 		{"duplicate", []string{"http://a:1", "http://a:1"}},
 	}
+	scheme, err := mining.NewGammaScheme(schema, m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tc := range cases {
-		if _, err := federation.NewCoordinator(schema, m, tc.peers, publish); err == nil {
+		if _, err := federation.NewCoordinator(scheme, tc.peers, publish); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
-	if _, err := federation.NewCoordinator(schema, m, []string{"http://a:1"}, nil); err == nil {
+	if _, err := federation.NewCoordinator(scheme, []string{"http://a:1"}, nil); err == nil {
 		t.Error("nil publish accepted")
 	}
-	if _, err := federation.NewCoordinator(nil, m, []string{"http://a:1"}, publish); err == nil {
-		t.Error("nil schema accepted")
+	if _, err := federation.NewCoordinator(nil, []string{"http://a:1"}, publish); err == nil {
+		t.Error("nil scheme accepted")
 	}
 }
 

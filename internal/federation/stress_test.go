@@ -39,23 +39,22 @@ func TestStressFederationSync(t *testing.T) {
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
+			// One scheme-negotiating client per site: submissions are
+			// perturbed under whatever scheme the matrix runs.
+			clients := make([]*service.Client, len(sites))
+			for i, site := range sites {
+				c, err := service.NewClient(site.ts.URL, service.WithHTTPClient(site.ts.Client()))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				clients[i] = c
+			}
 			for i := 0; i < perSubmitter; i++ {
-				target := sites[rng.Intn(len(sites))]
+				target := rng.Intn(len(sites))
 				recs := randomRecords(schema, rng, 1)
-				batch := []service.RecordJSON{encodeRecord(schema, recs[0])}
-				body, err := json.Marshal(batch)
-				if err != nil {
+				if err := clients[target].SubmitBatch(recs, rng); err != nil {
 					t.Error(err)
-					return
-				}
-				resp, err := http.Post(target.ts.URL+"/v1/submit-batch", "application/json", bytes.NewReader(body))
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusAccepted {
-					t.Errorf("submit returned %s", resp.Status)
 					return
 				}
 			}

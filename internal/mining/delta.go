@@ -4,8 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"math/rand"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -13,25 +11,28 @@ import (
 
 // Federated counter replication. FRAPP perturbs at the data provider, so
 // the server-side counter is already privacy-safe — which makes counters
-// from independent collection sites additive: summing per-site subset
-// histograms reproduces the histogram of the union exactly, with no
-// extra privacy cost. This file provides the replication substrate: a
-// compatibility fingerprint (so only sites running the same schema and
-// perturbation contract merge), compact versioned deltas extracted from
-// a live ShardedGammaCounter, and additive application/merge on
-// MaterializedGammaCounter, which a coordinator uses to maintain one
-// global counter over which the existing estimator and miner run
-// unchanged.
+// from independent collection sites additive: summing per-site counts
+// reproduces the counts of the union exactly, with no extra privacy
+// cost. This file provides the scheme-generic replication substrate: a
+// compatibility fingerprint (so only sites running the same scheme,
+// schema, and perturbation contract merge), compact versioned deltas
+// extracted from a live ShardedCounter of any scheme, and additive
+// application on the scheme's CounterCore, which a coordinator uses to
+// maintain one global counter over which the existing estimator and
+// miner run unchanged.
 
 // CounterDelta is one replication pull's payload: the sparse change of
 // the FULL-domain (joint) histogram between two replication positions,
 // plus everything a receiver needs to apply it safely. Only the joint
-// histogram travels — every subset histogram is a marginalization of it,
-// so the receiver re-derives the rest, keeping the wire format compact
-// (at most one cell per new record).
+// histogram travels — every observable a scheme needs is a projection of
+// it (gamma re-derives its subset histograms, the boolean schemes their
+// pattern counts), keeping the wire format compact (at most one cell per
+// new record).
 type CounterDelta struct {
-	// Fingerprint identifies the (schema, perturbation matrix) contract
-	// the cells were counted under; receivers must reject a mismatch.
+	// Fingerprint identifies the (scheme, schema, perturbation contract)
+	// the cells were counted under; receivers must reject a mismatch. The
+	// scheme identifier is part of the hash, so a gamma delta can never
+	// be merged into a MASK counter even when both run the same schema.
 	Fingerprint string
 	// Generation is the sending counter object's random epoch nonce
 	// (DeltaEpoch): every restart, state restore, or coordinator publish
@@ -56,10 +57,12 @@ type CounterDelta struct {
 	Cells []DeltaCell
 }
 
-// DeltaCell is one changed cell of the joint histogram: the record index
-// in the schema's record↔index bijection, and the count increment.
+// DeltaCell is one changed cell of the joint histogram: the cell index
+// in the scheme's joint domain (the schema's record↔index bijection for
+// gamma, the row bitset for the boolean schemes), and the count
+// increment.
 type DeltaCell struct {
-	Idx   int
+	Idx   uint64
 	Count float64
 }
 
@@ -67,28 +70,24 @@ type DeltaCell struct {
 // than an increment.
 func (d *CounterDelta) Full() bool { return d.FromVersion == 0 }
 
-// CompatibilityFingerprint hashes everything two sites must agree on
-// before their counters may be merged: schema name, every attribute with
-// its ordered category list, and the perturbation matrix parameters. Two
-// counters with equal fingerprints count in identical coordinates under
-// identical distortion, so their histograms are additively combinable.
+// CompatibilityFingerprint hashes everything two gamma sites must agree
+// on before their counters may be merged: the scheme identifier, schema
+// name, every attribute with its ordered category list, and the
+// perturbation matrix parameters. Two counters with equal fingerprints
+// count in identical coordinates under identical distortion, so their
+// histograms are additively combinable. The boolean schemes hash their
+// own parameters under their own scheme tags (see boolcounter.go), so
+// fingerprints can never collide across schemes.
 func CompatibilityFingerprint(schema *dataset.Schema, m core.UniformMatrix) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "schema=%s;M=%d;", schema.Name, schema.M())
-	for _, a := range schema.Attrs {
-		fmt.Fprintf(h, "attr=%s:%s;", a.Name, strings.Join(a.Categories, "\x1f"))
-	}
+	fmt.Fprintf(h, "scheme=%s;", SchemeGamma)
+	fingerprintSchema(h, schema)
 	fmt.Fprintf(h, "matrix=%d:%g:%g", m.N, m.Diag, m.Off)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Fingerprint returns the counter's compatibility fingerprint.
 func (c *MaterializedGammaCounter) Fingerprint() string {
-	return CompatibilityFingerprint(c.schema, c.matrix)
-}
-
-// Fingerprint returns the counter's compatibility fingerprint.
-func (c *ShardedGammaCounter) Fingerprint() string {
 	return CompatibilityFingerprint(c.schema, c.matrix)
 }
 
@@ -100,19 +99,20 @@ func (c *ShardedGammaCounter) Fingerprint() string {
 const MaxDeltaWireBytes = 1 << 30
 
 // maxDeltaCheckpoints bounds the retained replication baselines. Each
-// checkpoint is one joint histogram (DomainSize floats), so the cap
-// costs O(8·|S_U|) memory and lets up to 8 interleaved pullers (or 8
-// outstanding retry windows of one puller) replicate incrementally;
-// anything older falls back to a full resync.
+// checkpoint is one sparse joint histogram (at most one cell per
+// distinct joint-domain point), so the cap costs O(8·cells) memory and
+// lets up to 8 interleaved pullers (or 8 outstanding retry windows of
+// one puller) replicate incrementally; anything older falls back to a
+// full resync.
 const maxDeltaCheckpoints = 8
 
 // deltaCheckpoint is the baseline retained per issued ToVersion: the
-// exact joint histogram and record count that were handed to the puller,
-// so the next incremental diff is computed against precisely the state
-// the puller holds.
+// exact sparse joint histogram and record count that were handed to the
+// puller, so the next incremental diff is computed against precisely the
+// state the puller holds.
 type deltaCheckpoint struct {
 	n     int
-	joint []float64
+	joint map[uint64]float64
 }
 
 // DeltaSince extracts the counter's change since a previously issued
@@ -130,7 +130,7 @@ type deltaCheckpoint struct {
 // states — distinct tokens keep every retained baseline unambiguous,
 // while pulls that observe an unchanged counter reuse the newest
 // token).
-func (c *ShardedGammaCounter) DeltaSince(since uint64) (*CounterDelta, error) {
+func (c *ShardedCounter) DeltaSince(since uint64) (*CounterDelta, error) {
 	c.ckptMu.Lock()
 	defer c.ckptMu.Unlock()
 
@@ -152,15 +152,20 @@ func (c *ShardedGammaCounter) DeltaSince(since uint64) (*CounterDelta, error) {
 		}
 	}
 
-	// Slow path: fold a fresh snapshot, mint a strictly increasing
+	// Slow path: fold a fresh sparse joint, mint a strictly increasing
 	// token, and retain the (token → state) baseline for future pulls.
-	snap, version := c.SnapshotVersioned()
+	version := c.version.Load()
+	joint := make(map[uint64]float64)
+	n := 0
+	for _, s := range c.shards {
+		n += s.addJointInto(joint)
+	}
 	token := version
 	if token <= c.lastDeltaToken {
 		token = c.lastDeltaToken + 1
 	}
 	c.lastDeltaToken = token
-	ck := &deltaCheckpoint{n: snap.n, joint: snap.hists[len(snap.hists)-1]}
+	ck := &deltaCheckpoint{n: n, joint: joint}
 	c.ckpts[token] = ck
 	c.ckptOrder = append(c.ckptOrder, token)
 	if len(c.ckptOrder) > maxDeltaCheckpoints {
@@ -172,12 +177,12 @@ func (c *ShardedGammaCounter) DeltaSince(since uint64) (*CounterDelta, error) {
 
 // DeltaEpoch returns the counter object's random replication epoch —
 // the Generation every extracted delta carries.
-func (c *ShardedGammaCounter) DeltaEpoch() uint64 { return c.deltaEpoch }
+func (c *ShardedCounter) DeltaEpoch() uint64 { return c.deltaEpoch }
 
 // deltaToLocked builds the delta ending at checkpoint (token, ck),
 // incremental against the retained baseline at since when one exists,
 // full otherwise. Called with ckptMu held.
-func (c *ShardedGammaCounter) deltaToLocked(since, token uint64, ck *deltaCheckpoint) (*CounterDelta, error) {
+func (c *ShardedCounter) deltaToLocked(since, token uint64, ck *deltaCheckpoint) (*CounterDelta, error) {
 	d := &CounterDelta{
 		Fingerprint: c.Fingerprint(),
 		Generation:  c.deltaEpoch,
@@ -208,7 +213,42 @@ func (c *ShardedGammaCounter) deltaToLocked(since, token uint64, ck *deltaCheckp
 			d.Cells = append(d.Cells, DeltaCell{Idx: idx, Count: diff})
 		}
 	}
+	// Cell counts never shrink within a generation, so a baseline cell
+	// missing from the current joint is a regression too.
+	for idx, v := range base.joint {
+		if _, ok := ck.joint[idx]; !ok && v != 0 {
+			return nil, fmt.Errorf("%w: joint cell %d regressed by %v within one counter", ErrMining, idx, v)
+		}
+	}
 	return d, nil
+}
+
+// validateDelta runs the scheme-independent receiver checks: presence,
+// fingerprint match (which seals scheme, schema, and parameters),
+// non-negative record count, strictly positive cells, and the
+// cells-to-records sum. Cell-index range checks are per scheme.
+func validateDelta(d *CounterDelta, fingerprint string) error {
+	if d == nil {
+		return fmt.Errorf("%w: nil delta", ErrMining)
+	}
+	if d.Fingerprint != fingerprint {
+		return fmt.Errorf("%w: delta fingerprint %.12s does not match counter %.12s (different scheme, schema, or perturbation contract)",
+			ErrMining, d.Fingerprint, fingerprint)
+	}
+	if d.Records < 0 {
+		return fmt.Errorf("%w: delta carries negative record count %d", ErrMining, d.Records)
+	}
+	var sum float64
+	for _, cell := range d.Cells {
+		if cell.Count <= 0 {
+			return fmt.Errorf("%w: non-positive delta cell count %v at index %d", ErrMining, cell.Count, cell.Idx)
+		}
+		sum += cell.Count
+	}
+	if diff := sum - float64(d.Records); diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("%w: delta cells total %v, want %d records", ErrMining, sum, d.Records)
+	}
+	return nil
 }
 
 // ApplyDelta folds a replication delta into the counter: every cell is a
@@ -220,33 +260,18 @@ func (c *ShardedGammaCounter) deltaToLocked(since, token uint64, ck *deltaCheckp
 // the state at exactly FromVersion); the counter validates everything
 // else: fingerprint, cell ranges, positivity, and the record-count sum.
 func (c *MaterializedGammaCounter) ApplyDelta(d *CounterDelta) error {
-	if d == nil {
-		return fmt.Errorf("%w: nil delta", ErrMining)
+	if err := validateDelta(d, c.Fingerprint()); err != nil {
+		return err
 	}
-	if fp := c.Fingerprint(); d.Fingerprint != fp {
-		return fmt.Errorf("%w: delta fingerprint %.12s does not match counter %.12s (different schema or perturbation contract)",
-			ErrMining, d.Fingerprint, fp)
-	}
-	if d.Records < 0 {
-		return fmt.Errorf("%w: delta carries negative record count %d", ErrMining, d.Records)
-	}
-	var sum float64
 	for _, cell := range d.Cells {
-		if cell.Idx < 0 || cell.Idx >= c.schema.DomainSize() {
+		if cell.Idx >= uint64(c.schema.DomainSize()) {
 			return fmt.Errorf("%w: delta cell index %d outside domain %d", ErrMining, cell.Idx, c.schema.DomainSize())
 		}
-		if cell.Count <= 0 {
-			return fmt.Errorf("%w: non-positive delta cell count %v at index %d", ErrMining, cell.Count, cell.Idx)
-		}
-		sum += cell.Count
-	}
-	if diff := sum - float64(d.Records); diff > 1e-6 || diff < -1e-6 {
-		return fmt.Errorf("%w: delta cells total %v, want %d records", ErrMining, sum, d.Records)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, cell := range d.Cells {
-		rec, err := c.schema.Decode(cell.Idx)
+		rec, err := c.schema.Decode(int(cell.Idx))
 		if err != nil {
 			return err
 		}
@@ -260,55 +285,4 @@ func (c *MaterializedGammaCounter) ApplyDelta(d *CounterDelta) error {
 	}
 	c.n += d.Records
 	return nil
-}
-
-// Merge additively combines another counter into this one. Because every
-// subset histogram is a per-record sum, merging per-site counters
-// reproduces the counters of the union of their submissions exactly —
-// the coordinator's global view is bit-identical to a single site that
-// had collected everything. The two counters must share a compatibility
-// fingerprint.
-func (c *MaterializedGammaCounter) Merge(other *MaterializedGammaCounter) error {
-	if other == nil {
-		return fmt.Errorf("%w: nil counter", ErrMining)
-	}
-	if c == other {
-		return fmt.Errorf("%w: cannot merge a counter into itself", ErrMining)
-	}
-	// The fingerprint covers schema AND matrix, so it is checked even
-	// when the two counters share a *Schema — equal schema pointers say
-	// nothing about the distortion the counts were collected under.
-	if c.Fingerprint() != other.Fingerprint() {
-		return fmt.Errorf("%w: cannot merge counters with different schema or perturbation contract", ErrMining)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	other.mu.RLock()
-	defer other.mu.RUnlock()
-	for mask := 1; mask < len(c.hists); mask++ {
-		addInto(c.hists[mask], other.hists[mask])
-	}
-	c.n += other.n
-	return nil
-}
-
-// NewShardedFromSnapshot wraps a frozen merged counter as a single-shard
-// ShardedGammaCounter, so a coordinator's global view plugs into
-// everything built for the live ingestion counter (service handlers,
-// query engine, Apriori) unchanged. The caller must hand over ownership:
-// the snapshot becomes the counter's only shard. Its version line starts
-// at the record count, mirroring a state restore.
-func NewShardedFromSnapshot(snap *MaterializedGammaCounter) *ShardedGammaCounter {
-	c := &ShardedGammaCounter{
-		schema:     snap.schema,
-		matrix:     snap.matrix,
-		shards:     []*MaterializedGammaCounter{snap},
-		deltaEpoch: rand.Uint64(),
-		ckpts:      make(map[uint64]*deltaCheckpoint),
-	}
-	n := snap.N()
-	c.next.Store(uint64(n))
-	c.total.Store(int64(n))
-	c.version.Store(uint64(n))
-	return c
 }

@@ -114,7 +114,7 @@ func TestDeltaSinceFullThenIncrementalReconstructsCounter(t *testing.T) {
 	if total == 0 {
 		t.Fatal("degenerate test: no records added")
 	}
-	countersEqual(t, src.Snapshot(), replica)
+	countersEqual(t, src.Snapshot().(*MaterializedGammaCounter), replica)
 }
 
 func TestDeltaSinceUnknownBaselineFallsBackToFull(t *testing.T) {
@@ -241,7 +241,7 @@ func TestApplyDeltaRejectsBadPayloads(t *testing.T) {
 	}{
 		{"nil", nil},
 		{"fingerprint mismatch", &CounterDelta{Fingerprint: "bogus", Records: 1, Cells: []DeltaCell{{Idx: 0, Count: 1}}}},
-		{"index out of range", &CounterDelta{Fingerprint: fp, Records: 1, Cells: []DeltaCell{{Idx: s.DomainSize(), Count: 1}}}},
+		{"index out of range", &CounterDelta{Fingerprint: fp, Records: 1, Cells: []DeltaCell{{Idx: uint64(s.DomainSize()), Count: 1}}}},
 		{"negative cell", &CounterDelta{Fingerprint: fp, Records: 0, Cells: []DeltaCell{{Idx: 0, Count: -1}}}},
 		{"sum mismatch", &CounterDelta{Fingerprint: fp, Records: 5, Cells: []DeltaCell{{Idx: 0, Count: 1}}}},
 		{"negative records", &CounterDelta{Fingerprint: fp, Records: -1}},

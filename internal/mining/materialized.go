@@ -196,6 +196,12 @@ func (c *MaterializedGammaCounter) Supports(candidates []Itemset) ([]float64, er
 		if err != nil {
 			return nil, err
 		}
+		if mask == 0 {
+			// Every record supports the empty itemset — exact, no
+			// reconstruction noise (matching the sharded read path).
+			out[i] = n
+			continue
+		}
 		marg, err := c.matrix.Marginal(c.subSizes[mask])
 		if err != nil {
 			return nil, err

@@ -10,46 +10,64 @@ import (
 )
 
 // counterState is the serialized form of a counter. The schema itself is
-// NOT serialized — the loader supplies it and the state is validated
-// against it, so a state file can never silently reinterpret a different
-// schema's counts.
+// NOT serialized — the loader supplies it (through the scheme contract)
+// and the state is validated against it, so a state file can never
+// silently reinterpret a different schema's counts.
 //
-// Version 1 carries a single counter in (N, Hists); version 2 carries
-// one (N, Hists) payload per shard in Shards. Gob matches fields by
-// name, so either version decodes into this struct and the loaders
-// accept both: a sharded server restores single-counter state files and
-// vice versa, with saved shards folded modulo the live shard count.
+// Version 1 carries a single gamma counter in (N, Hists); version 2
+// carries one (N, Hists) payload per shard in Shards; version 3 is the
+// scheme-tagged format: Scheme names the perturbation scheme, the
+// scheme's parameters ride in the meta fields, and each shard carries
+// either dense subset histograms (gamma) or sparse joint cells (the
+// boolean schemes). Gob matches fields by name, so every version decodes
+// into this struct and the loaders accept all three: a scheme-generic
+// server restores legacy gamma state files, and saved shards fold modulo
+// the live shard count.
 type counterState struct {
 	Version    int
+	Scheme     string // empty in v1/v2 files, which are always gamma
 	SchemaName string
 	M          int
 	DomainSize int
+
+	// Gamma parameters.
 	MatrixN    int
 	MatrixDiag float64
 	MatrixOff  float64
+
+	// Boolean-scheme parameters.
+	Mb     int
+	MaskP  float64
+	CutK   int
+	CutRho float64
 
 	// Version 1 payload: one counter.
 	N     int
 	Hists [][]float64
 
-	// Version 2 payload: one entry per shard.
+	// Version 2+ payload: one entry per shard.
 	Shards []shardState
 }
 
-// shardState is one shard's counts.
+// shardState is one shard's counts: dense subset histograms for gamma,
+// sparse joint cells for the boolean schemes.
 type shardState struct {
 	N     int
 	Hists [][]float64
+	Cells []DeltaCell
 }
 
 const (
 	counterStateVersion = 1
 	shardedStateVersion = 2
+	schemeStateVersion  = 3
 )
 
-func (c *MaterializedGammaCounter) metaState(version int) counterState {
+// stateMeta fills the state header for a gamma core.
+func (c *MaterializedGammaCounter) stateMeta(version int) counterState {
 	return counterState{
 		Version:    version,
+		Scheme:     SchemeGamma,
 		SchemaName: c.schema.Name,
 		M:          c.schema.M(),
 		DomainSize: c.schema.DomainSize(),
@@ -59,66 +77,32 @@ func (c *MaterializedGammaCounter) metaState(version int) counterState {
 	}
 }
 
-// Save serializes the counter (gob encoding) so a collection server can
-// restart without losing submissions.
-func (c *MaterializedGammaCounter) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	st := c.metaState(counterStateVersion)
-	st.N = c.n
-	st.Hists = c.hists
-	return gob.NewEncoder(w).Encode(&st)
+// checkState validates decoded state metadata against this core's
+// contract.
+func (c *MaterializedGammaCounter) checkState(st *counterState) error {
+	if st.SchemaName != c.schema.Name || st.M != c.schema.M() || st.DomainSize != c.schema.DomainSize() {
+		return fmt.Errorf("%w: state was saved for schema %q (M=%d, |S_U|=%d), not %q (M=%d, |S_U|=%d)",
+			ErrMining, st.SchemaName, st.M, st.DomainSize, c.schema.Name, c.schema.M(), c.schema.DomainSize())
+	}
+	if st.MatrixN != c.matrix.N || st.MatrixDiag != c.matrix.Diag || st.MatrixOff != c.matrix.Off {
+		return fmt.Errorf("%w: state was saved under a different perturbation matrix", ErrMining)
+	}
+	return nil
 }
 
-// Save serializes every shard. Each shard is deep-copied under its own
-// lock first, so submissions may keep arriving while the state streams
-// out.
-func (c *ShardedGammaCounter) Save(w io.Writer) error {
-	st := c.shards[0].metaState(shardedStateVersion)
-	st.Shards = make([]shardState, len(c.shards))
-	for i, s := range c.shards {
-		snap := s.Snapshot()
-		st.Shards[i] = shardState{N: snap.n, Hists: snap.hists}
-	}
-	return gob.NewEncoder(w).Encode(&st)
+// saveShard deep-copies the core's state under its own lock, so
+// submissions may keep arriving while the state streams out.
+func (c *MaterializedGammaCounter) saveShard() shardState {
+	snap := c.Snapshot()
+	return shardState{N: snap.n, Hists: snap.hists}
 }
 
-// decodeCounterState decodes either state version and validates its
-// metadata against the supplied schema and matrix. On success the
-// payload is normalized into st.Shards (a version-1 file becomes one
-// shard).
-func decodeCounterState(r io.Reader, schema *dataset.Schema, m core.UniformMatrix) (*counterState, error) {
-	var st counterState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("%w: decoding counter state: %v", ErrMining, err)
-	}
-	switch st.Version {
-	case counterStateVersion:
-		st.Shards = []shardState{{N: st.N, Hists: st.Hists}}
-	case shardedStateVersion:
-		if len(st.Shards) == 0 {
-			return nil, fmt.Errorf("%w: sharded state has no shards", ErrMining)
-		}
-	default:
-		return nil, fmt.Errorf("%w: counter state version %d, want %d or %d",
-			ErrMining, st.Version, counterStateVersion, shardedStateVersion)
-	}
-	if st.SchemaName != schema.Name || st.M != schema.M() || st.DomainSize != schema.DomainSize() {
-		return nil, fmt.Errorf("%w: state was saved for schema %q (M=%d, |S_U|=%d), not %q (M=%d, |S_U|=%d)",
-			ErrMining, st.SchemaName, st.M, st.DomainSize, schema.Name, schema.M(), schema.DomainSize())
-	}
-	if st.MatrixN != m.N || st.MatrixDiag != m.Diag || st.MatrixOff != m.Off {
-		return nil, fmt.Errorf("%w: state was saved under a different perturbation matrix", ErrMining)
-	}
-	return &st, nil
-}
-
-// applyShardState validates one shard payload against the counter's
+// restoreShard validates one shard payload against the counter's
 // structure — histogram shapes, non-negative cells, per-subset totals
-// matching the record count — and folds its counts in. Callers apply to
-// freshly built counters only, so a partially applied failed load is
-// simply discarded.
-func applyShardState(c *MaterializedGammaCounter, sh shardState) error {
+// matching the record count — and folds its counts in. Callers restore
+// into freshly built counters only, so a partially applied failed load
+// is simply discarded.
+func (c *MaterializedGammaCounter) restoreShard(sh shardState) error {
 	if sh.N < 0 {
 		return fmt.Errorf("%w: negative record count %d", ErrMining, sh.N)
 	}
@@ -146,44 +130,81 @@ func applyShardState(c *MaterializedGammaCounter, sh shardState) error {
 	return nil
 }
 
-// LoadMaterializedGammaCounter restores a counter saved with either
-// counter's Save, validating every structural invariant against the
-// supplied schema and matrix before accepting the state. Sharded state
-// is merged into the single counter.
-func LoadMaterializedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix) (*MaterializedGammaCounter, error) {
-	st, err := decodeCounterState(r, schema, m)
-	if err != nil {
-		return nil, err
-	}
-	c, err := NewMaterializedGammaCounter(schema, m)
-	if err != nil {
-		return nil, err
-	}
-	for _, sh := range st.Shards {
-		if err := applyShardState(c, sh); err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
+// Save serializes the counter (gob encoding) so a collection server can
+// restart without losing submissions.
+func (c *MaterializedGammaCounter) Save(w io.Writer) error {
+	st := c.stateMeta(schemeStateVersion)
+	st.Shards = []shardState{c.saveShard()}
+	return gob.NewEncoder(w).Encode(&st)
 }
 
-// LoadShardedGammaCounter restores a sharded counter saved with either
-// counter's Save. The live shard count is the caller's choice, not the
-// file's: saved shard i folds into live shard i mod shards, so state
-// round-trips across -shards changes and across the single↔sharded
-// counter boundary.
-func LoadShardedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix, shards int) (*ShardedGammaCounter, error) {
-	st, err := decodeCounterState(r, schema, m)
+// save serializes every shard of a live counter in the scheme-tagged v3
+// format. Each shard is deep-copied under its own lock first, so
+// submissions may keep arriving while the state streams out.
+func (c *ShardedCounter) save(w io.Writer) error {
+	st := c.shards[0].stateMeta(schemeStateVersion)
+	st.Shards = make([]shardState, len(c.shards))
+	for i, s := range c.shards {
+		st.Shards[i] = s.saveShard()
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// decodeState decodes any state version and normalizes the payload into
+// st.Shards (a version-1 file becomes one shard) and st.Scheme (legacy
+// versions are always gamma).
+func decodeState(r io.Reader) (*counterState, error) {
+	var st counterState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: decoding counter state: %v", ErrMining, err)
+	}
+	switch st.Version {
+	case counterStateVersion:
+		st.Scheme = SchemeGamma
+		st.Shards = []shardState{{N: st.N, Hists: st.Hists}}
+	case shardedStateVersion:
+		st.Scheme = SchemeGamma
+		fallthrough
+	case schemeStateVersion:
+		if len(st.Shards) == 0 {
+			return nil, fmt.Errorf("%w: sharded state has no shards", ErrMining)
+		}
+		if st.Scheme == "" {
+			return nil, fmt.Errorf("%w: scheme-tagged state carries no scheme", ErrMining)
+		}
+	default:
+		return nil, fmt.Errorf("%w: counter state version %d, want %d, %d, or %d",
+			ErrMining, st.Version, counterStateVersion, shardedStateVersion, schemeStateVersion)
+	}
+	return &st, nil
+}
+
+// LoadLiveCounter restores a live counter saved with LiveCounter.Save
+// (or a legacy gamma Save), validating the scheme identity, scheme
+// parameters, and every structural invariant against the supplied
+// contract before accepting the state. The live shard count is the
+// caller's choice, not the file's: saved shard i folds into live shard
+// i mod shards, so state round-trips across -shards changes and across
+// the single↔sharded counter boundary.
+func LoadLiveCounter(r io.Reader, scheme CounterScheme, shards int) (*ShardedCounter, error) {
+	st, err := decodeState(r)
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewShardedGammaCounter(schema, m, shards)
+	if st.Scheme != scheme.Name() {
+		return nil, fmt.Errorf("%w: state was saved under scheme %q, counter runs %q — cross-scheme restores are rejected, never merged",
+			ErrMining, st.Scheme, scheme.Name())
+	}
+	c, err := NewShardedCounter(scheme, shards)
 	if err != nil {
+		return nil, err
+	}
+	if err := c.shards[0].checkState(st); err != nil {
 		return nil, err
 	}
 	total := 0
 	for i, sh := range st.Shards {
-		if err := applyShardState(c.shards[i%len(c.shards)], sh); err != nil {
+		if err := c.shards[i%len(c.shards)].restoreShard(sh); err != nil {
 			return nil, err
 		}
 		total += sh.N
@@ -197,4 +218,42 @@ func LoadShardedGammaCounter(r io.Reader, schema *dataset.Schema, m core.Uniform
 	c.total.Store(int64(total))
 	c.version.Store(uint64(total))
 	return c, nil
+}
+
+// LoadMaterializedGammaCounter restores a gamma counter saved with any
+// counter's Save, validating every structural invariant against the
+// supplied schema and matrix before accepting the state. Sharded state
+// is merged into the single counter.
+func LoadMaterializedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix) (*MaterializedGammaCounter, error) {
+	st, err := decodeState(r)
+	if err != nil {
+		return nil, err
+	}
+	if st.Scheme != SchemeGamma {
+		return nil, fmt.Errorf("%w: state was saved under scheme %q, not %q", ErrMining, st.Scheme, SchemeGamma)
+	}
+	c, err := NewMaterializedGammaCounter(schema, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkState(st); err != nil {
+		return nil, err
+	}
+	for _, sh := range st.Shards {
+		if err := c.restoreShard(sh); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// LoadShardedGammaCounter restores a gamma sharded counter saved with
+// any counter's Save — the historical loader, kept as a convenience
+// over LoadLiveCounter with a GammaScheme.
+func LoadShardedGammaCounter(r io.Reader, schema *dataset.Schema, m core.UniformMatrix, shards int) (*ShardedCounter, error) {
+	scheme, err := NewGammaScheme(schema, m)
+	if err != nil {
+		return nil, err
+	}
+	return LoadLiveCounter(r, scheme, shards)
 }

@@ -1,6 +1,8 @@
 package mining
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -10,28 +12,28 @@ import (
 	"repro/internal/dataset"
 )
 
-// ShardedGammaCounter is a lock-striped MaterializedGammaCounter for the
-// collection service's hot path. A single materialized counter serializes
-// every submission on one mutex held across an O(M·2^M) histogram update,
-// so a busy server cannot use more than one core for ingestion. Sharding
-// splits the counter into S independent MaterializedGammaCounter shards,
-// each with its own lock and its own copy of the subset histograms;
+// ShardedCounter is the scheme-generic lock-striped live counter behind
+// the collection service's hot path — the one implementation of
+// LiveCounter, striping any scheme's CounterCore. A single core
+// serializes every submission on one mutex held across its histogram
+// update, so a busy server cannot use more than one core for ingestion.
+// Sharding splits the counter into S independent cores, each with its
+// own lock and its own copy of the scheme's materialized state;
 // submissions are routed round-robin, so concurrent submitters contend
 // only when they land on the same shard at the same instant (probability
 // ~1/S). Because every record lands entirely in exactly one shard,
-// summing per-shard histograms and record counts reproduces the
-// single-counter state exactly — the reconstruction arithmetic over
-// integer-valued counts is bit-identical.
+// summing per-shard state reproduces the single-core state exactly — the
+// per-scheme reconstruction arithmetic over integer-valued counts is
+// bit-identical.
 //
-// Reads merge on demand: Supports sums only the histograms its
-// candidates touch and evaluates the batch across a worker pool (the
-// span pattern of core.PerturbDatabaseParallel); Snapshot folds all
-// shards into one frozen MaterializedGammaCounter for consistent
+// Reads merge on demand: Supports, PerturbedSupports, and Estimates
+// prepare a candidate batch once, gather each shard's contribution under
+// that shard's own lock, and resolve from the merged observables;
+// SnapshotVersioned folds all shards into one frozen core for consistent
 // multi-pass mining.
-type ShardedGammaCounter struct {
-	schema *dataset.Schema
-	matrix core.UniformMatrix
-	shards []*MaterializedGammaCounter
+type ShardedCounter struct {
+	scheme CounterScheme
+	shards []CounterCore
 	next   atomic.Uint64
 	// total mirrors the sum of shard record counts so N() — called on
 	// every submit response — stays lock-free instead of sweeping all
@@ -45,7 +47,7 @@ type ShardedGammaCounter struct {
 	// cache is keyed on.
 	version atomic.Uint64
 
-	// Replication baselines for DeltaSince (see delta.go): joint
+	// Replication baselines for DeltaSince (see delta.go): sparse joint
 	// histograms retained per issued stream token so the next pull diffs
 	// against exactly the state the puller holds. The ring lives and dies
 	// with the counter object — a restored counter starts empty, which is
@@ -61,41 +63,98 @@ type ShardedGammaCounter struct {
 	lastDeltaToken uint64
 }
 
-// NewShardedGammaCounter builds a counter with the given shard count;
-// shards <= 0 defaults to runtime.GOMAXPROCS(0).
-func NewShardedGammaCounter(schema *dataset.Schema, m core.UniformMatrix, shards int) (*ShardedGammaCounter, error) {
+// Compile-time check: ShardedCounter is the LiveCounter implementation.
+var _ LiveCounter = (*ShardedCounter)(nil)
+
+// NewShardedCounter builds a live counter for the given scheme with the
+// given shard count; shards <= 0 defaults to runtime.GOMAXPROCS(0).
+func NewShardedCounter(scheme CounterScheme, shards int) (*ShardedCounter, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("%w: nil scheme contract", ErrMining)
+	}
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	c := &ShardedGammaCounter{
-		schema:     schema,
-		matrix:     m,
-		shards:     make([]*MaterializedGammaCounter, shards),
+	c := &ShardedCounter{
+		scheme:     scheme,
+		shards:     make([]CounterCore, shards),
 		deltaEpoch: rand.Uint64(),
 		ckpts:      make(map[uint64]*deltaCheckpoint),
 	}
 	for i := range c.shards {
-		s, err := NewMaterializedGammaCounter(schema, m)
-		if err != nil {
-			return nil, err
-		}
-		c.shards[i] = s
+		c.shards[i] = scheme.NewCore()
 	}
 	return c, nil
 }
 
+// NewShardedGammaCounter builds a gamma-diagonal sharded counter — the
+// historical constructor, kept as a convenience over NewShardedCounter
+// with a GammaScheme.
+func NewShardedGammaCounter(schema *dataset.Schema, m core.UniformMatrix, shards int) (*ShardedCounter, error) {
+	scheme, err := NewGammaScheme(schema, m)
+	if err != nil {
+		return nil, err
+	}
+	return NewShardedCounter(scheme, shards)
+}
+
+// NewLiveFromCore wraps a frozen merged core as a single-shard live
+// counter, so a federation coordinator's global view plugs into
+// everything built for the ingestion counter (service handlers, query
+// engine, Apriori) unchanged. The caller must hand over ownership: the
+// core becomes the counter's only shard. Its version line starts at the
+// record count, mirroring a state restore.
+func NewLiveFromCore(scheme CounterScheme, core CounterCore) *ShardedCounter {
+	if scheme == nil || core == nil {
+		panic("mining: NewLiveFromCore requires a scheme contract and a core")
+	}
+	c := &ShardedCounter{
+		scheme:     scheme,
+		shards:     []CounterCore{core},
+		deltaEpoch: rand.Uint64(),
+		ckpts:      make(map[uint64]*deltaCheckpoint),
+	}
+	n := core.N()
+	c.next.Store(uint64(n))
+	c.total.Store(int64(n))
+	c.version.Store(uint64(n))
+	return c
+}
+
+// NewShardedFromSnapshot wraps a frozen merged gamma counter as a
+// single-shard live counter — the gamma convenience over
+// NewLiveFromCore.
+func NewShardedFromSnapshot(snap *MaterializedGammaCounter) *ShardedCounter {
+	scheme, err := NewGammaScheme(snap.schema, snap.matrix)
+	if err != nil {
+		// Unreachable: the snapshot was built under these exact
+		// parameters.
+		panic("mining: snapshot carries invalid gamma contract: " + err.Error())
+	}
+	return NewLiveFromCore(scheme, snap)
+}
+
+// Scheme names the counter's perturbation scheme.
+func (c *ShardedCounter) Scheme() string { return c.scheme.Name() }
+
+// CounterScheme returns the counter's full scheme contract.
+func (c *ShardedCounter) CounterScheme() CounterScheme { return c.scheme }
+
 // Shards returns the number of stripes.
-func (c *ShardedGammaCounter) Shards() int { return len(c.shards) }
+func (c *ShardedCounter) Shards() int { return len(c.shards) }
 
 // Schema returns the counter's schema.
-func (c *ShardedGammaCounter) Schema() *dataset.Schema { return c.schema }
+func (c *ShardedCounter) Schema() *dataset.Schema { return c.scheme.Schema() }
 
-// Add ingests one (already perturbed) record into the next shard in
-// round-robin order. The atomic routing counter is the only state shared
-// between concurrent submitters.
-func (c *ShardedGammaCounter) Add(rec dataset.Record) error {
+// Fingerprint returns the counter's compatibility fingerprint.
+func (c *ShardedCounter) Fingerprint() string { return c.scheme.Fingerprint() }
+
+// Ingest adds one (already perturbed) record, given as its item list,
+// into the next shard in round-robin order. The atomic routing counter
+// is the only state shared between concurrent submitters.
+func (c *ShardedCounter) Ingest(items []Item) error {
 	shard := c.next.Add(1) % uint64(len(c.shards))
-	if err := c.shards[shard].Add(rec); err != nil {
+	if err := c.shards[shard].Ingest(items); err != nil {
 		return err
 	}
 	c.total.Add(1)
@@ -103,13 +162,23 @@ func (c *ShardedGammaCounter) Add(rec dataset.Record) error {
 	return nil
 }
 
+// Add ingests one perturbed categorical record — the item-per-attribute
+// convenience over Ingest, valid for every scheme (a full categorical
+// record is a legal perturbed record under each).
+func (c *ShardedCounter) Add(rec dataset.Record) error {
+	if err := c.Schema().Validate(rec); err != nil {
+		return err
+	}
+	return c.Ingest(recordItems(rec))
+}
+
 // AddDatabase ingests every record of a perturbed database.
-func (c *ShardedGammaCounter) AddDatabase(db *dataset.Database) error {
-	return addDatabase(c.schema, c.Add, db)
+func (c *ShardedCounter) AddDatabase(db *dataset.Database) error {
+	return addDatabase(c.Schema(), c.Add, db)
 }
 
 // N returns the total number of ingested records across all shards.
-func (c *ShardedGammaCounter) N() int {
+func (c *ShardedCounter) N() int {
 	return int(c.total.Load())
 }
 
@@ -118,16 +187,16 @@ func (c *ShardedGammaCounter) N() int {
 // versions imply identical counter state (mining results computed at
 // version v remain exact answers for any later read that still observes
 // v).
-func (c *ShardedGammaCounter) Version() uint64 {
+func (c *ShardedCounter) Version() uint64 {
 	return c.version.Load()
 }
 
-// Snapshot folds every shard into one frozen MaterializedGammaCounter.
-// Shards are read one at a time under their own locks; a record is
-// counted in every histogram of its shard or in none, so the merged copy
-// is always a consistent view of some set of fully ingested records even
-// while submissions keep arriving.
-func (c *ShardedGammaCounter) Snapshot() *MaterializedGammaCounter {
+// Snapshot folds every shard into one frozen SupportCounter. Shards are
+// read one at a time under their own locks; a record is counted in every
+// observable of its shard or in none, so the merged copy is always a
+// consistent view of some set of fully ingested records even while
+// submissions keep arriving.
+func (c *ShardedCounter) Snapshot() SupportCounter {
 	snap, _ := c.SnapshotVersioned()
 	return snap
 }
@@ -140,184 +209,87 @@ func (c *ShardedGammaCounter) Snapshot() *MaterializedGammaCounter {
 // included — the snapshot is then a strictly newer, still-consistent
 // view, which only makes a cache entry keyed at the returned version
 // fresher than advertised, never staler).
-func (c *ShardedGammaCounter) SnapshotVersioned() (*MaterializedGammaCounter, uint64) {
+func (c *ShardedCounter) SnapshotVersioned() (SupportCounter, uint64) {
+	core, version := c.snapshotCore()
+	return core, version
+}
+
+// snapshotCore is SnapshotVersioned returning the concrete core, for
+// package-internal callers (persist, delta) that need core plumbing.
+func (c *ShardedCounter) snapshotCore() (CounterCore, uint64) {
 	version := c.version.Load()
-	first := c.shards[0]
-	merged := &MaterializedGammaCounter{
-		schema:   c.schema,
-		matrix:   c.matrix,
-		cols:     first.cols,     // immutable after construction
-		subSizes: first.subSizes, // immutable after construction
-		hists:    make([][]float64, len(first.hists)),
-	}
-	for mask := 1; mask < len(first.hists); mask++ {
-		merged.hists[mask] = make([]float64, len(first.hists[mask]))
-	}
+	merged := c.scheme.NewCore()
 	for _, s := range c.shards {
-		s.mu.RLock()
-		merged.n += s.n
-		for mask := 1; mask < len(s.hists); mask++ {
-			addInto(merged.hists[mask], s.hists[mask])
-		}
-		s.mu.RUnlock()
+		s.foldInto(merged)
 	}
 	return merged, version
 }
 
-// addInto accumulates src into dst element-wise — the histogram fold
-// shared by the snapshot, query-merge, and state-restore paths.
-func addInto(dst, src []float64) {
-	for i, v := range src {
-		dst[i] += v
-	}
-}
-
-// shardedCandidate is the per-candidate routing computed during the
-// parallel validation pass.
-type shardedCandidate struct {
-	mask int
-	idx  int
-}
-
-// routeCandidates validates the batch and computes each candidate's
-// (subset mask, histogram index) across a worker pool — candidate
-// batches come from Apriori passes, which can be thousands of itemsets
-// wide.
-func (c *ShardedGammaCounter) routeCandidates(candidates []Itemset) ([]shardedCandidate, error) {
-	routed := make([]shardedCandidate, len(candidates))
-	if err := c.forEachSpan(len(candidates), func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			cand := candidates[i]
-			// Validate enforces canonical strictly-increasing attribute
-			// order, so the mask below cannot alias two items.
-			if err := cand.Validate(c.schema); err != nil {
-				return err
-			}
-			mask := 0
-			idx := 0
-			for _, it := range cand {
-				mask |= 1 << uint(it.Attr)
-				idx = idx*c.schema.Attrs[it.Attr].Cardinality() + it.Value
-			}
-			routed[i] = shardedCandidate{mask: mask, idx: idx}
-		}
-		return nil
-	}); err != nil {
+// batch prepares a candidate batch and gathers every shard's
+// contribution — the read path shared by Supports, PerturbedSupports,
+// and Estimates. Per-shard state is internally consistent, so the
+// merged observables describe a valid set of fully ingested records.
+func (c *ShardedCounter) batch(candidates []Itemset) (counterBatch, error) {
+	b, err := c.shards[0].prepare(candidates)
+	if err != nil {
 		return nil, err
 	}
-	return routed, nil
-}
-
-// mergeCounts merges only the subset histograms the routed batch
-// touches, one shard lock at a time, and returns each candidate's raw
-// perturbed match count Y_L plus the merged record count N of the same
-// sweep. Shard-local (n, hists) pairs are internally consistent, so
-// their sum reconstructs counts for a valid record set. Mask 0 (the
-// empty itemset) is supported by every record, so its Y_L is N itself.
-func (c *ShardedGammaCounter) mergeCounts(routed []shardedCandidate) ([]float64, int) {
-	merged := make(map[int][]float64)
-	for _, rc := range routed {
-		if rc.mask != 0 && merged[rc.mask] == nil {
-			merged[rc.mask] = make([]float64, c.shards[0].subSizes[rc.mask])
-		}
-	}
-	n := 0
 	for _, s := range c.shards {
-		s.mu.RLock()
-		n += s.n
-		for mask, dst := range merged {
-			addInto(dst, s.hists[mask])
-		}
-		s.mu.RUnlock()
+		s.gather(b)
 	}
-	ys := make([]float64, len(routed))
-	for i, rc := range routed {
-		if rc.mask == 0 {
-			ys[i] = float64(n)
-			continue
-		}
-		ys[i] = merged[rc.mask][rc.idx]
-	}
-	return ys, n
+	return b, nil
 }
 
-// Supports merges only the subset histograms the candidate batch touches
-// and evaluates the Eq. 28 closed form across a worker pool. The empty
-// itemset is answered exactly (every record supports it).
-func (c *ShardedGammaCounter) Supports(candidates []Itemset) ([]float64, error) {
+// Supports merges only the observables the candidate batch touches and
+// evaluates the scheme's reconstruction. The empty itemset is answered
+// exactly (every record supports it).
+func (c *ShardedCounter) Supports(candidates []Itemset) ([]float64, error) {
 	if len(candidates) == 0 {
 		return nil, nil
 	}
-	routed, err := c.routeCandidates(candidates)
+	b, err := c.batch(candidates)
 	if err != nil {
 		return nil, err
 	}
-	ys, n := c.mergeCounts(routed)
-
-	marginals := make(map[int]core.UniformMatrix)
-	for _, rc := range routed {
-		if rc.mask == 0 {
-			continue
-		}
-		if _, ok := marginals[rc.mask]; ok {
-			continue
-		}
-		marg, err := c.matrix.Marginal(c.shards[0].subSizes[rc.mask])
-		if err != nil {
-			return nil, err
-		}
-		marginals[rc.mask] = marg
-	}
-
-	out := make([]float64, len(candidates))
-	fn := float64(n)
-	if err := c.forEachSpan(len(candidates), func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			rc := routed[i]
-			if rc.mask == 0 {
-				out[i] = ys[i] // exact, no reconstruction noise
-				continue
-			}
-			marg := marginals[rc.mask]
-			out[i] = (ys[i] - marg.Off*fn) / (marg.Diag - marg.Off)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return b.supports()
 }
 
-// PerturbedSupports returns each candidate's RAW perturbed match count
-// Y_L — the histogram cell before any reconstruction — together with
-// the record count N observed in the same shard sweep, so (Y_L, N)
-// pairs are mutually consistent. This is the substrate of the
-// counter-backed interactive query path (internal/query.CounterEngine),
-// which needs Y_L rather than the reconstructed support because the
-// estimator's standard error is a function of Y_L/N.
-func (c *ShardedGammaCounter) PerturbedSupports(candidates []Itemset) ([]float64, int, error) {
+// PerturbedSupports returns each candidate's RAW full-match count in the
+// perturbed data — before any reconstruction — together with the record
+// count N observed in the same shard sweep, so (Y_L, N) pairs are
+// mutually consistent. This is the substrate of the counter-backed
+// interactive query path for the gamma scheme, whose estimator is a
+// function of Y_L/N alone.
+func (c *ShardedCounter) PerturbedSupports(candidates []Itemset) ([]float64, int, error) {
 	if len(candidates) == 0 {
 		return nil, c.N(), nil
 	}
-	routed, err := c.routeCandidates(candidates)
+	b, err := c.batch(candidates)
 	if err != nil {
 		return nil, 0, err
 	}
-	ys, n := c.mergeCounts(routed)
+	ys, n := b.raw()
 	return ys, n, nil
 }
 
-// forEachSpan runs fn over contiguous spans of [0, n) on a worker pool
-// (core.ForEachSpan), capping the worker count so small batches run
-// inline — goroutine scheduling would dominate the arithmetic.
-func (c *ShardedGammaCounter) forEachSpan(n int, fn func(lo, hi int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	const minSpan = 64
-	if workers > n/minSpan {
-		workers = n / minSpan
+// Estimates answers a batch of filter-count queries with the scheme's
+// estimator: every estimate is based on the same consistent sweep (one
+// record count N for the whole batch), even while submissions keep
+// arriving on the live counter.
+func (c *ShardedCounter) Estimates(filters []Itemset) ([]PointEstimate, int, error) {
+	if len(filters) == 0 {
+		return nil, c.N(), nil
 	}
-	if workers <= 1 {
-		return fn(0, n)
+	b, err := c.batch(filters)
+	if err != nil {
+		return nil, 0, err
 	}
-	return core.ForEachSpan(n, workers, func(_, lo, hi int) error { return fn(lo, hi) })
+	ests, err := b.estimates()
+	if err != nil {
+		return nil, 0, err
+	}
+	return ests, b.records(), nil
 }
+
+// Save serializes the counter; see persist.go.
+func (c *ShardedCounter) Save(w io.Writer) error { return c.save(w) }

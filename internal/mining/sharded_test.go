@@ -362,7 +362,7 @@ func TestShardedLoadRejectsBadState(t *testing.T) {
 		t.Fatal("mismatched matrix accepted")
 	}
 	// Tampered per-shard totals must be rejected.
-	c.shards[1].hists[1][0] += 5
+	c.shards[1].(*MaterializedGammaCounter).hists[1][0] += 5
 	var tampered bytes.Buffer
 	if err := c.Save(&tampered); err != nil {
 		t.Fatal(err)

@@ -19,15 +19,26 @@ type PerturbedCounter interface {
 }
 
 // CounterEngine answers filter-count queries directly from an
-// incrementally materialized counter: one batch costs O(#filters)
-// histogram lookups (plus one marginal per distinct attribute set)
-// instead of the Engine's O(N) record scan per filter. It is safe for
-// concurrent use whenever the underlying counter is, so the collection
-// service serves interactive queries from the live ingestion counter
-// without snapshotting or pausing submissions.
+// incrementally materialized counter instead of the Engine's O(N)
+// record scan per filter: a gamma batch costs O(#filters)
+// merged-histogram lookups; a boolean-scheme batch sweeps the counter's
+// sparse joint histogram of distinct perturbed rows once for the whole
+// batch. It is safe for concurrent use whenever the underlying counter
+// is, so the collection service serves interactive queries from the
+// live ingestion counter without snapshotting or pausing submissions.
+//
+// Two construction paths exist: NewCounterEngine binds a gamma-diagonal
+// matrix to any PerturbedCounter and inverts raw counts itself (the
+// historical gamma path), while NewLiveCounterEngine wraps a
+// scheme-polymorphic mining.LiveCounter and delegates estimation to the
+// counter's own scheme — gamma, MASK, and cut-and-paste all answer
+// through the same engine surface.
 type CounterEngine struct {
 	counter PerturbedCounter
 	matrix  core.UniformMatrix
+	// live, when set, answers through the counter's scheme estimator
+	// instead of the engine-side gamma inversion.
+	live mining.LiveCounter
 }
 
 // NewCounterEngine validates the matrix against the counter's schema.
@@ -42,6 +53,17 @@ func NewCounterEngine(c PerturbedCounter, m core.UniformMatrix) (*CounterEngine,
 		return nil, fmt.Errorf("%w: %w", ErrQuery, err)
 	}
 	return &CounterEngine{counter: c, matrix: m}, nil
+}
+
+// NewLiveCounterEngine wraps a scheme-polymorphic live counter: every
+// estimate is produced by the counter's own scheme estimator, so one
+// engine serves gamma, MASK, and cut-and-paste collections. For a gamma
+// counter the estimates are identical to NewCounterEngine's.
+func NewLiveCounterEngine(c mining.LiveCounter) (*CounterEngine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: nil counter", ErrQuery)
+	}
+	return &CounterEngine{counter: c, live: c}, nil
 }
 
 // Count estimates how many original records match the filter, with a
@@ -61,6 +83,9 @@ func (e *CounterEngine) Count(filter mining.Itemset) (Estimate, error) {
 // validate anyway before indexing its histograms), so invalid filters
 // surface as wrapped ErrQuery errors without a second pass here.
 func (e *CounterEngine) CountAll(filters []mining.Itemset) ([]Estimate, error) {
+	if e.live != nil {
+		return e.countAllLive(filters)
+	}
 	schema := e.counter.Schema()
 	ys, n, err := e.counter.PerturbedSupports(filters)
 	if err != nil {
@@ -90,6 +115,32 @@ func (e *CounterEngine) CountAll(filters []mining.Itemset) ([]Estimate, error) {
 			return nil, fmt.Errorf("filter %d (%s): %w", i, f.Key(), err)
 		}
 		out[i] = est
+	}
+	return out, nil
+}
+
+// countAllLive answers through the live counter's scheme estimator: one
+// consistent sweep yields every (point estimate, stderr) pair, to which
+// the engine attaches the 95% z-interval. A zero stderr (the exact
+// zero-arity case) yields a zero-width interval, matching the gamma
+// path's exactEstimate.
+func (e *CounterEngine) countAllLive(filters []mining.Itemset) ([]Estimate, error) {
+	pes, n, err := e.live.Estimates(filters)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrQuery, err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty database", ErrQuery)
+	}
+	out := make([]Estimate, len(pes))
+	for i, pe := range pes {
+		out[i] = Estimate{
+			Count:  pe.Count,
+			StdErr: pe.StdErr,
+			Lo:     pe.Count - z95*pe.StdErr,
+			Hi:     pe.Count + z95*pe.StdErr,
+			N:      n,
+		}
 	}
 	return out, nil
 }

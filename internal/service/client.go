@@ -19,15 +19,26 @@ import (
 )
 
 // Client is the user-side library: it fetches the published schema and
-// privacy contract, rebuilds the gamma-diagonal matrix locally, and
-// perturbs every record on the client before anything is transmitted —
-// the FRAPP trust model in which users "trust no one except themselves".
+// privacy contract, validates the advertised perturbation scheme against
+// that contract, rebuilds the scheme locally, and perturbs every record
+// on the client before anything is transmitted — the FRAPP trust model
+// in which users "trust no one except themselves". The client does not
+// take the server's word for the scheme parameters: it re-derives what
+// it can (the gamma-diagonal matrix) and verifies the worst-case
+// amplification of the rest (MASK's p, C&P's K and ρ) against the
+// published γ bound, refusing to submit under a contract that leaks
+// more than advertised.
 type Client struct {
-	base      string
-	http      *http.Client
-	schema    *dataset.Schema
+	base   string
+	http   *http.Client
+	schema *dataset.Schema
+	scheme string
+	gamma  float64
+	// perturber is set for the gamma scheme; mask/cutpaste for the
+	// boolean schemes (exactly one of the three is non-nil).
 	perturber core.Perturber
-	gamma     float64
+	mask      *core.MaskScheme
+	cutpaste  *core.CutPasteScheme
 }
 
 // ClientOption configures a Client.
@@ -80,34 +91,81 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Rebuild the matrix locally from the contract — the client does not
-	// take the server's word for the perturbation parameters.
+	// Rebuild the contract locally — the client does not take the
+	// server's word for the perturbation parameters.
 	spec := core.PrivacySpec{Rho1: sr.Privacy.Rho1, Rho2: sr.Privacy.Rho2}
 	gamma, err := spec.Gamma()
 	if err != nil {
 		return nil, err
 	}
-	matrix, err := core.NewGammaDiagonal(schema.DomainSize(), gamma)
-	if err != nil {
-		return nil, err
+	c := &Client{
+		base:   baseURL,
+		http:   cfg.httpClient,
+		schema: schema,
+		gamma:  gamma,
 	}
-	var perturber core.Perturber
-	if cfg.randomization > 0 {
-		perturber, err = core.NewRandomizedGammaPerturber(schema, matrix, cfg.randomization*matrix.Diag)
-	} else {
-		perturber, err = core.NewGammaPerturber(schema, matrix)
+	// Responses from pre-scheme servers carry no scheme block; that is
+	// the gamma default.
+	schemeName := sr.Scheme.Name
+	if schemeName == "" {
+		schemeName = mining.SchemeGamma
 	}
-	if err != nil {
-		return nil, err
+	c.scheme = schemeName
+	if cfg.randomization > 0 && schemeName != mining.SchemeGamma {
+		return nil, fmt.Errorf("%w: client-side randomization is a gamma-scheme extension, server runs %q", ErrService, schemeName)
 	}
-	return &Client{
-		base:      baseURL,
-		http:      cfg.httpClient,
-		schema:    schema,
-		perturber: perturber,
-		gamma:     gamma,
-	}, nil
+	switch schemeName {
+	case mining.SchemeGamma:
+		matrix, err := core.NewGammaDiagonal(schema.DomainSize(), gamma)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.randomization > 0 {
+			c.perturber, err = core.NewRandomizedGammaPerturber(schema, matrix, cfg.randomization*matrix.Diag)
+		} else {
+			c.perturber, err = core.NewGammaPerturber(schema, matrix)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case mining.SchemeMask:
+		bm, err := core.NewBoolMapping(schema)
+		if err != nil {
+			return nil, err
+		}
+		mask, err := core.NewMaskScheme(bm, sr.Scheme.MaskP)
+		if err != nil {
+			return nil, err
+		}
+		// Verify the advertised retention probability actually satisfies
+		// the published privacy bound before perturbing anything with it.
+		if amp := mask.Amplification(); amp > gamma*(1+1e-9) {
+			return nil, fmt.Errorf("%w: advertised MASK p=%g amplifies to %.4g, violating the published gamma=%g",
+				ErrService, sr.Scheme.MaskP, amp, gamma)
+		}
+		c.mask = mask
+	case mining.SchemeCutPaste:
+		bm, err := core.NewBoolMapping(schema)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := core.NewCutPasteScheme(bm, sr.Scheme.CutK, sr.Scheme.CutRho)
+		if err != nil {
+			return nil, err
+		}
+		if amp := cp.Amplification(); amp > gamma*(1+1e-9) {
+			return nil, fmt.Errorf("%w: advertised C&P K=%d rho=%g amplifies to %.4g, violating the published gamma=%g",
+				ErrService, sr.Scheme.CutK, sr.Scheme.CutRho, amp, gamma)
+		}
+		c.cutpaste = cp
+	default:
+		return nil, fmt.Errorf("%w: server runs unsupported scheme %q", ErrService, schemeName)
+	}
+	return c, nil
 }
+
+// Scheme returns the negotiated perturbation scheme.
+func (c *Client) Scheme() string { return c.scheme }
 
 // Schema returns the schema fetched from the server.
 func (c *Client) Schema() *dataset.Schema { return c.schema }
@@ -115,13 +173,39 @@ func (c *Client) Schema() *dataset.Schema { return c.schema }
 // Gamma returns the amplification bound of the published contract.
 func (c *Client) Gamma() float64 { return c.gamma }
 
+// perturbWire perturbs one record under the negotiated scheme and
+// renders it in the scheme's wire form: RecordJSON for gamma,
+// BoolRecordJSON for the boolean schemes.
+func (c *Client) perturbWire(rec dataset.Record, rng *rand.Rand) (any, error) {
+	switch {
+	case c.perturber != nil:
+		perturbed, err := c.perturber.Perturb(rec, rng)
+		if err != nil {
+			return nil, err
+		}
+		return c.encodeRecord(perturbed), nil
+	case c.mask != nil:
+		row, err := c.mask.PerturbRecord(rec, rng)
+		if err != nil {
+			return nil, err
+		}
+		return c.encodeBoolRecord(c.mask.Mapping, row), nil
+	default:
+		row, err := c.cutpaste.PerturbRecord(rec, rng)
+		if err != nil {
+			return nil, err
+		}
+		return c.encodeBoolRecord(c.cutpaste.Mapping, row), nil
+	}
+}
+
 // Submit perturbs rec locally and sends only the distorted record.
 func (c *Client) Submit(rec dataset.Record, rng *rand.Rand) error {
-	perturbed, err := c.perturber.Perturb(rec, rng)
+	wire, err := c.perturbWire(rec, rng)
 	if err != nil {
 		return err
 	}
-	body, err := json.Marshal(c.encodeRecord(perturbed))
+	body, err := json.Marshal(wire)
 	if err != nil {
 		return err
 	}
@@ -138,13 +222,13 @@ func (c *Client) Submit(rec dataset.Record, rng *rand.Rand) error {
 
 // SubmitBatch perturbs and submits many records in one request.
 func (c *Client) SubmitBatch(recs []dataset.Record, rng *rand.Rand) error {
-	batch := make([]RecordJSON, 0, len(recs))
+	batch := make([]any, 0, len(recs))
 	for _, rec := range recs {
-		perturbed, err := c.perturber.Perturb(rec, rng)
+		wire, err := c.perturbWire(rec, rng)
 		if err != nil {
 			return err
 		}
-		batch = append(batch, c.encodeRecord(perturbed))
+		batch = append(batch, wire)
 	}
 	body, err := json.Marshal(batch)
 	if err != nil {
@@ -377,6 +461,24 @@ func (c *Client) encodeRecord(rec dataset.Record) RecordJSON {
 	for j, v := range rec {
 		a := c.schema.Attrs[j]
 		out[a.Name] = a.Categories[v]
+	}
+	return out
+}
+
+// encodeBoolRecord renders a perturbed boolean row as attribute →
+// asserted-category lists; attributes with no asserted bits are omitted.
+func (c *Client) encodeBoolRecord(m *core.BoolMapping, row uint64) BoolRecordJSON {
+	out := make(BoolRecordJSON)
+	for j, a := range c.schema.Attrs {
+		var cats []string
+		for v := 0; v < a.Cardinality(); v++ {
+			if row&(1<<uint(m.Offsets[j]+v)) != 0 {
+				cats = append(cats, a.Categories[v])
+			}
+		}
+		if len(cats) > 0 {
+			out[a.Name] = cats
+		}
 	}
 	return out
 }

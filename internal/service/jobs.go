@@ -20,12 +20,6 @@ const (
 	JobFailed  = "failed"
 )
 
-// mineScheme names the reconstruction scheme of this server's counter in
-// cache keys. The collection server currently always mines through the
-// gamma-diagonal matrix; keying the cache on the scheme keeps entries
-// distinguishable if alternative reconstructions are ever served.
-const mineScheme = "det-gd"
-
 // MineParams are the parameters of one mining request, shared by the
 // synchronous endpoint and the job API. Zero values mean defaults
 // (minsup 0.02, limit 100); MaxLen 0 means unbounded itemset length.

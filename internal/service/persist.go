@@ -22,12 +22,14 @@ func (s *Server) SaveState(w io.Writer) error {
 }
 
 // LoadState replaces the server's counter with a previously saved state.
-// The state must have been saved for the same schema and privacy
-// contract; the shard count is the live server's, not the file's, so
-// state survives -shards changes across restarts. The swap resets the
-// snapshot-version line, so every cached mining result is invalidated.
+// The state must have been saved for the same scheme, schema, and
+// privacy contract — a state file written under a different scheme is
+// rejected, never merged; the shard count is the live server's, not the
+// file's, so state survives -shards changes across restarts. The swap
+// resets the snapshot-version line, so every cached mining result is
+// invalidated.
 func (s *Server) LoadState(r io.Reader) error {
-	counter, err := mining.LoadShardedGammaCounter(r, s.schema, s.matrix, s.Shards())
+	counter, err := mining.LoadLiveCounter(r, s.scheme, s.Shards())
 	if err != nil {
 		return err
 	}

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,8 +14,13 @@ import (
 // The interactive query endpoint: POST /v1/query answers a batch of
 // filter-count queries (attr=value conjunctions) with reconstructed
 // estimates and 95% confidence intervals, straight from the live
-// sharded counter — O(#filters) merged-shard histogram lookups, never a
-// scan over stored records (the server does not store records at all).
+// sharded counter — never a scan over stored records (the server does
+// not store records at all). Per-batch cost is scheme-dependent: gamma
+// answers in O(#filters) merged-shard histogram lookups; the boolean
+// schemes sweep their sparse joint histogram of DISTINCT perturbed rows
+// (their minimal sufficient state), so a batch costs
+// O(distinct rows × #filters) — still record-free and bounded by the
+// boolean domain, but not size-independent.
 //
 // Results follow the same snapshot-version discipline as mining jobs:
 // every response reports the (counter generation, snapshot version)
@@ -93,52 +97,30 @@ func WithQueryLimit(n int) Option {
 // QueryLimit returns the per-batch filter cap.
 func (s *Server) QueryLimit() int { return s.queryLimit }
 
-// decodeFilter parses one wire filter object into a canonical itemset,
-// token by token: encoding/json would silently keep only the last of
-// two duplicate attribute keys, and a filter that names an attribute
-// twice is a contradiction the client should hear about, not a
-// silently rewritten query.
+// decodeFilter parses one wire filter object into a canonical itemset
+// through the duplicate-rejecting attribute walk (walkAttrObject): a
+// filter that names an attribute twice is a contradiction the client
+// should hear about, not a silently rewritten query.
 func (s *Server) decodeFilter(raw json.RawMessage) (mining.Itemset, error) {
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	tok, err := dec.Token()
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
-	}
-	if d, ok := tok.(json.Delim); !ok || d != '{' {
-		return nil, fmt.Errorf("%w: filter must be an object of attribute=category conditions", ErrService)
-	}
 	var items []mining.Item
-	seen := make(map[int]bool)
-	for dec.More() {
-		keyTok, err := dec.Token()
-		if err != nil {
-			return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
-		}
-		name := keyTok.(string) // object keys are always strings
-		j := s.attrIndex(name)
-		if j < 0 {
-			return nil, fmt.Errorf("%w: unknown attribute %q", ErrService, name)
-		}
-		if seen[j] {
-			return nil, fmt.Errorf("%w: duplicate attribute %q in filter", ErrService, name)
-		}
-		seen[j] = true
+	err := s.walkAttrObject(raw, "filter", func(j int, name string, dec *json.Decoder) error {
 		valTok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
+			return fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
 		}
 		cat, ok := valTok.(string)
 		if !ok {
-			return nil, fmt.Errorf("%w: attribute %q condition must be a category name", ErrService, name)
+			return fmt.Errorf("%w: attribute %q condition must be a category name", ErrService, name)
 		}
 		v := s.schema.Attrs[j].CategoryIndex(cat)
 		if v < 0 {
-			return nil, fmt.Errorf("%w: unknown category %q for attribute %q", ErrService, cat, name)
+			return fmt.Errorf("%w: unknown category %q for attribute %q", ErrService, cat, name)
 		}
 		items = append(items, mining.Item{Attr: j, Value: v})
-	}
-	if _, err := dec.Token(); err != nil { // consume the closing '}'
-		return nil, fmt.Errorf("%w: bad filter JSON: %v", ErrService, err)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	set, err := mining.NewItemset(items...)
 	if err != nil {
@@ -200,7 +182,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// some shard and therefore inside the sweep, so Records >= version
 	// and the response is exact for it.
 	version := counter.Version()
-	eng, err := query.NewCounterEngine(counter, s.matrix)
+	// The live engine answers through the counter's own scheme
+	// estimator, so this one path serves gamma, MASK, and cut-and-paste
+	// collections alike.
+	eng, err := query.NewLiveCounterEngine(counter)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return

@@ -72,13 +72,16 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 // reflects; it is stamped into /v1/query and /v1/mine responses. Like a
 // state restore, the swap invalidates the mining-result cache and bumps
 // the counter generation BEFORE publishing, so no worker can pair the
-// new counter with a stale cache entry (see executeMine).
-func (s *Server) ReplaceCounter(c *mining.ShardedGammaCounter, vector map[string]uint64) error {
+// new counter with a stale cache entry (see executeMine). The incoming
+// counter's fingerprint — which seals its scheme, schema, and
+// parameters — must match this server's contract exactly: a counter
+// collected under a different scheme is rejected, never served.
+func (s *Server) ReplaceCounter(c mining.LiveCounter, vector map[string]uint64) error {
 	if c == nil {
 		return fmt.Errorf("%w: nil counter", ErrService)
 	}
-	if c.Fingerprint() != mining.CompatibilityFingerprint(s.schema, s.matrix) {
-		return fmt.Errorf("%w: counter does not match this server's schema and perturbation contract", ErrService)
+	if c.Fingerprint() != s.scheme.Fingerprint() {
+		return fmt.Errorf("%w: counter does not match this server's scheme, schema, and perturbation contract", ErrService)
 	}
 	gen := s.jobs.invalidateCache()
 	s.counter.Store(&counterRef{counter: c, gen: gen, vector: vector})
@@ -104,10 +107,10 @@ func (s *Server) EnableFederation(coord *federation.Coordinator) error {
 // Federated reports whether this server is a federation coordinator.
 func (s *Server) Federated() bool { return s.fed.Load() != nil }
 
-// Matrix returns the server's perturbation matrix — the one its counter
-// counts under. Federation coordinators are built over this matrix (and
-// the server's schema) so their compatibility fingerprint can never
-// drift from the server's own.
+// Matrix returns the server's gamma-diagonal perturbation matrix — the
+// zero matrix when the server runs a boolean scheme. Federation
+// coordinators should be built from CounterScheme instead, which covers
+// every scheme.
 func (s *Server) Matrix() core.UniformMatrix { return s.matrix }
 
 // PublishedSchema returns the schema the server publishes on /v1/schema.

@@ -141,7 +141,7 @@ func TestReplicateRejectsBadParams(t *testing.T) {
 
 func TestFederatedServerRefusesSubmissions(t *testing.T) {
 	srv, ts := startServer(t)
-	coord, err := federation.NewCoordinator(srv.schema, srv.matrix, []string{"http://127.0.0.1:1"}, srv.ReplaceCounter)
+	coord, err := federation.NewCoordinator(srv.CounterScheme(), []string{"http://127.0.0.1:1"}, srv.ReplaceCounter)
 	if err != nil {
 		t.Fatal(err)
 	}

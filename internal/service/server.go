@@ -10,10 +10,12 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -50,6 +52,14 @@ type Server struct {
 	schema *dataset.Schema
 	spec   core.PrivacySpec
 	gamma  float64
+	// scheme is the negotiated perturbation contract this server counts
+	// under — gamma (default), mask, or cutpaste. Every layer below
+	// (counter, query estimates, mining cache keys, persistence,
+	// federation fingerprints) flows from this one value, and it is
+	// advertised on /v1/schema and /v1/stats so clients can validate it.
+	scheme mining.CounterScheme
+	// matrix is the gamma-diagonal matrix; set only when scheme is
+	// gamma (the boolean schemes publish their own parameters).
 	matrix core.UniformMatrix
 	// counter is swapped wholesale on state restore while submit and
 	// mining handlers read it concurrently, hence the atomic pointer.
@@ -74,7 +84,7 @@ type Server struct {
 // counter reflects. The three travel as one atomic unit so a response
 // can never stamp a counter with another counter's provenance.
 type counterRef struct {
-	counter *mining.ShardedGammaCounter
+	counter mining.LiveCounter
 	gen     uint64
 	vector  map[string]uint64
 }
@@ -83,10 +93,21 @@ type counterRef struct {
 type Option func(*serverConfig)
 
 type serverConfig struct {
+	scheme      string
 	shards      int
 	mineWorkers int
 	jobTTL      time.Duration
 	queryLimit  int
+}
+
+// WithScheme selects the perturbation scheme the server counts under:
+// "gamma" (the default and the paper's recommended scheme — the
+// gamma-diagonal matrix minimizes the reconstruction condition number
+// under the privacy bound), "mask", or "cutpaste". The scheme's
+// parameters are derived from the published (schema, γ) contract, so
+// clients can re-derive and verify them locally.
+func WithScheme(name string) Option {
+	return func(c *serverConfig) { c.scheme = name }
 }
 
 // WithShards sets the ingestion shard count. Values <= 0 (and the
@@ -123,18 +144,21 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if err != nil {
 		return nil, err
 	}
-	matrix, err := core.NewGammaDiagonal(schema.DomainSize(), gamma)
+	scheme, err := mining.SchemeForContract(cfg.scheme, schema, gamma)
 	if err != nil {
 		return nil, err
 	}
-	counter, err := mining.NewShardedGammaCounter(schema, matrix, cfg.shards)
+	counter, err := mining.NewShardedCounter(scheme, cfg.shards)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.queryLimit <= 0 {
 		cfg.queryLimit = defaultQueryLimit
 	}
-	s := &Server{schema: schema, spec: spec, gamma: gamma, matrix: matrix, queryLimit: cfg.queryLimit}
+	s := &Server{schema: schema, spec: spec, gamma: gamma, scheme: scheme, queryLimit: cfg.queryLimit}
+	if g, ok := scheme.(*mining.GammaScheme); ok {
+		s.matrix = g.Matrix()
+	}
 	s.counter.Store(&counterRef{counter: counter})
 	s.jobs = newJobStore(cfg.mineWorkers, cfg.jobTTL, s.executeMine)
 	return s, nil
@@ -144,7 +168,15 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 func (s *Server) Close() { s.jobs.close() }
 
 // ctr returns the live counter.
-func (s *Server) ctr() *mining.ShardedGammaCounter { return s.counter.Load().counter }
+func (s *Server) ctr() mining.LiveCounter { return s.counter.Load().counter }
+
+// Scheme returns the name of the server's perturbation scheme.
+func (s *Server) Scheme() string { return s.scheme.Name() }
+
+// CounterScheme returns the server's full scheme contract — what a
+// federation coordinator over this server's sites must be built with so
+// its compatibility fingerprint can never drift from the server's own.
+func (s *Server) CounterScheme() mining.CounterScheme { return s.scheme }
 
 // N returns the number of submissions received so far.
 func (s *Server) N() int { return s.ctr().N() }
@@ -188,12 +220,27 @@ func (s *Server) Handler() http.Handler {
 }
 
 // SchemaResponse is the published contract clients need to perturb
-// locally: the full schema plus the privacy parameters that determine
-// the perturbation matrix.
+// locally: the full schema, the privacy parameters, and the active
+// perturbation scheme with its derived parameters. Clients re-derive
+// the scheme from (schema, γ) and verify the advertised parameters
+// satisfy the privacy contract before submitting anything.
 type SchemaResponse struct {
 	Name       string          `json:"name"`
 	Attributes []AttributeJSON `json:"attributes"`
 	Privacy    PrivacyJSON     `json:"privacy"`
+	Scheme     SchemeJSON      `json:"scheme"`
+}
+
+// SchemeJSON advertises the active perturbation scheme. An absent or
+// empty name (responses from pre-scheme servers) means gamma.
+type SchemeJSON struct {
+	Name string `json:"name"`
+	// MaskP is MASK's bit-retention probability (scheme "mask" only).
+	MaskP float64 `json:"mask_p,omitempty"`
+	// CutK and CutRho are the cut-and-paste operator parameters (scheme
+	// "cutpaste" only).
+	CutK   int     `json:"cut_k,omitempty"`
+	CutRho float64 `json:"cut_rho,omitempty"`
 }
 
 // AttributeJSON is one attribute of the published schema.
@@ -213,6 +260,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	resp := SchemaResponse{
 		Name:    s.schema.Name,
 		Privacy: PrivacyJSON{Rho1: s.spec.Rho1, Rho2: s.spec.Rho2, Gamma: s.gamma},
+		Scheme:  s.schemeJSON(),
 	}
 	for _, a := range s.schema.Attrs {
 		resp.Attributes = append(resp.Attributes, AttributeJSON{Name: a.Name, Categories: a.Categories})
@@ -220,8 +268,29 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// RecordJSON is the wire form of one record: attribute name → category.
+// schemeJSON renders the active scheme contract for the wire.
+func (s *Server) schemeJSON() SchemeJSON {
+	out := SchemeJSON{Name: s.scheme.Name()}
+	switch sc := s.scheme.(type) {
+	case *mining.MaskCounterScheme:
+		out.MaskP = sc.Mask().P
+	case *mining.CutPasteCounterScheme:
+		out.CutK = sc.CutPaste().K
+		out.CutRho = sc.CutPaste().Rho
+	}
+	return out
+}
+
+// RecordJSON is the wire form of one gamma-perturbed record: attribute
+// name → category. The gamma scheme perturbs within the categorical
+// domain, so every submission is a complete record.
 type RecordJSON map[string]string
+
+// BoolRecordJSON is the wire form of one boolean-perturbed record (MASK
+// and cut-and-paste): attribute name → list of asserted categories. A
+// perturbed boolean record may assert zero, one, or several categories
+// per attribute, and attributes may be absent entirely.
+type BoolRecordJSON map[string][]string
 
 // decodeRecord validates and converts a wire record.
 func (s *Server) decodeRecord(rj RecordJSON) (dataset.Record, error) {
@@ -243,22 +312,117 @@ func (s *Server) decodeRecord(rj RecordJSON) (dataset.Record, error) {
 	return rec, nil
 }
 
+// decodeSubmission converts one wire submission into an ingest closure
+// per the active scheme: gamma submissions are complete records
+// (RecordJSON) fed through the counter's record path — one validation
+// in decodeRecord, one in Add, no intermediate item list — and boolean
+// submissions are item sets (BoolRecordJSON) fed through Ingest.
+func (s *Server) decodeSubmission(raw json.RawMessage) (func(mining.LiveCounter) error, error) {
+	if s.scheme.Name() == mining.SchemeGamma {
+		var rj RecordJSON
+		if err := json.Unmarshal(raw, &rj); err != nil {
+			return nil, fmt.Errorf("%w: bad JSON: %v", ErrService, err)
+		}
+		rec, err := s.decodeRecord(rj)
+		if err != nil {
+			return nil, err
+		}
+		return func(c mining.LiveCounter) error { return c.Add(rec) }, nil
+	}
+	items, err := s.decodeBoolSubmission(raw)
+	if err != nil {
+		return nil, err
+	}
+	return func(c mining.LiveCounter) error { return c.Ingest(items) }, nil
+}
+
+// walkAttrObject parses a JSON object keyed by attribute names token by
+// token — encoding/json would silently keep only the last of two
+// duplicate keys, and both decoders built on this (query filters and
+// boolean submissions) must reject that collapse, not rewrite the
+// request. visit is called once per entry with the resolved attribute
+// index and the decoder positioned at the entry's value.
+func (s *Server) walkAttrObject(raw json.RawMessage, kind string, visit func(attr int, name string, dec *json.Decoder) error) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("%w: bad %s JSON: %v", ErrService, kind, err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("%w: %s must be an object keyed by attribute names", ErrService, kind)
+	}
+	seen := make(map[int]bool)
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("%w: bad %s JSON: %v", ErrService, kind, err)
+		}
+		name := keyTok.(string) // object keys are always strings
+		j := s.attrIndex(name)
+		if j < 0 {
+			return fmt.Errorf("%w: unknown attribute %q", ErrService, name)
+		}
+		if seen[j] {
+			return fmt.Errorf("%w: duplicate attribute %q in %s", ErrService, name, kind)
+		}
+		seen[j] = true
+		if err := visit(j, name, dec); err != nil {
+			return err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // consume the closing '}'
+		return fmt.Errorf("%w: bad %s JSON: %v", ErrService, kind, err)
+	}
+	return nil
+}
+
+// decodeBoolSubmission parses one boolean-scheme wire record through
+// the duplicate-rejecting attribute walk: on the WRITE path a silently
+// dropped category list corrupts the counts permanently, so a
+// duplicate attribute is a 400, never a truncated ingest.
+func (s *Server) decodeBoolSubmission(raw json.RawMessage) ([]mining.Item, error) {
+	var items []mining.Item
+	err := s.walkAttrObject(raw, "submission", func(j int, name string, dec *json.Decoder) error {
+		var cats []string
+		if err := dec.Decode(&cats); err != nil {
+			return fmt.Errorf("%w: attribute %q must carry a category list: %v", ErrService, name, err)
+		}
+		seenVal := make(map[int]bool, len(cats))
+		for _, cat := range cats {
+			v := s.schema.Attrs[j].CategoryIndex(cat)
+			if v < 0 {
+				return fmt.Errorf("%w: unknown category %q for attribute %q", ErrService, cat, name)
+			}
+			if seenVal[v] {
+				return fmt.Errorf("%w: duplicate category %q for attribute %q", ErrService, cat, name)
+			}
+			seenVal[v] = true
+			items = append(items, mining.Item{Attr: j, Value: v})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.Federated() {
 		httpError(w, http.StatusForbidden, errFederated)
 		return
 	}
-	var rj RecordJSON
-	if err := json.NewDecoder(r.Body).Decode(&rj); err != nil {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
 		return
 	}
-	rec, err := s.decodeRecord(rj)
+	ingest, err := s.decodeSubmission(raw)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.ctr().Add(rec); err != nil {
+	if err := ingest(s.ctr()); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -270,23 +434,25 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusForbidden, errFederated)
 		return
 	}
-	var batch []RecordJSON
+	var batch []json.RawMessage
 	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
 		return
 	}
-	recs := make([]dataset.Record, 0, len(batch))
-	for i, rj := range batch {
-		rec, err := s.decodeRecord(rj)
+	// Decode the whole batch before ingesting any of it, so a malformed
+	// record rejects the submission without a partial ingest.
+	records := make([]func(mining.LiveCounter) error, 0, len(batch))
+	for i, raw := range batch {
+		ingest, err := s.decodeSubmission(raw)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: %w", i, err))
 			return
 		}
-		recs = append(recs, rec)
+		records = append(records, ingest)
 	}
 	counter := s.ctr()
-	for _, rec := range recs {
-		if err := counter.Add(rec); err != nil {
+	for _, ingest := range records {
+		if err := ingest(counter); err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -296,8 +462,13 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse summarizes the collection state.
 type StatsResponse struct {
-	Records         int     `json:"records"`
-	Gamma           float64 `json:"gamma"`
+	Records int     `json:"records"`
+	Gamma   float64 `json:"gamma"`
+	// Scheme is the active perturbation scheme (empty responses from
+	// pre-scheme servers mean gamma); ConditionNumber is that scheme's
+	// full-record reconstruction condition number — the paper's accuracy
+	// figure of merit, directly comparable across schemes.
+	Scheme          string  `json:"scheme"`
 	ConditionNumber float64 `json:"condition_number"`
 	DomainSize      int     `json:"domain_size"`
 	Shards          int     `json:"shards"`
@@ -319,6 +490,26 @@ type StatsResponse struct {
 	Federation *federation.Stats `json:"federation,omitempty"`
 }
 
+// conditionNumber reports the active scheme's full-record (length-M)
+// reconstruction condition number, the quantity the paper compares
+// schemes by: the gamma-diagonal matrix's closed-form condition number,
+// MASK's (2p−1)^(−M), or the 1-norm condition of C&P's order-(M+1)
+// partial-support matrix.
+func (s *Server) conditionNumber() float64 {
+	switch sc := s.scheme.(type) {
+	case *mining.MaskCounterScheme:
+		return sc.Mask().Cond(s.schema.M())
+	case *mining.CutPasteCounterScheme:
+		c, err := sc.CutPaste().Cond(s.schema.M())
+		if err != nil {
+			return math.Inf(1)
+		}
+		return c
+	default:
+		return s.matrix.Cond()
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// One load yields a consistent (counter, generation) pair even if a
 	// state restore lands mid-request. The version is read BEFORE the
@@ -330,7 +521,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Records:           ref.counter.N(),
 		Gamma:             s.gamma,
-		ConditionNumber:   s.matrix.Cond(),
+		Scheme:            s.scheme.Name(),
+		ConditionNumber:   s.conditionNumber(),
 		DomainSize:        s.schema.DomainSize(),
 		Shards:            ref.counter.Shards(),
 		SnapshotVersion:   version,
@@ -500,7 +692,7 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 	// collide with the old counter's cached versions).
 	ref := s.counter.Load()
 	counter, gen := ref.counter, ref.gen
-	key := mineKey{gen: gen, version: counter.Version(), minsup: p.MinSupport, scheme: mineScheme, maxlen: p.MaxLen}
+	key := mineKey{gen: gen, version: counter.Version(), minsup: p.MinSupport, scheme: s.scheme.Name(), maxlen: p.MaxLen}
 	if e := s.jobs.cacheGet(key); e != nil {
 		resp, err := s.renderMine(e.result, e.records, p)
 		if err != nil {
@@ -527,7 +719,7 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 	// key (both snapshots valid for this version, possibly with a few
 	// more folded-in records each), the first store wins and every job
 	// reporting this (generation, version, params) returns its result.
-	entry := s.jobs.cachePut(mineKey{gen: gen, version: version, minsup: p.MinSupport, scheme: mineScheme, maxlen: p.MaxLen},
+	entry := s.jobs.cachePut(mineKey{gen: gen, version: version, minsup: p.MinSupport, scheme: s.scheme.Name(), maxlen: p.MaxLen},
 		&cacheEntry{records: n, result: res})
 	resp, err := s.renderMine(entry.result, entry.records, p)
 	if err != nil {

@@ -4,12 +4,26 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/mining"
 )
+
+// stressScheme selects the perturbation scheme the stress suite runs
+// under: CI drives a gamma/mask/cutpaste matrix through the
+// FRAPP_STRESS_SCHEME environment variable; the default is gamma.
+func stressScheme(t testing.TB) string {
+	t.Helper()
+	name := os.Getenv("FRAPP_STRESS_SCHEME")
+	if name == "" {
+		return mining.SchemeGamma
+	}
+	return name
+}
 
 // TestStressConcurrentIngestAndQuery hammers POST /v1/query while
 // submit-batch traffic keeps bumping the counter, under -race in CI.
@@ -24,7 +38,7 @@ import (
 //     its interval brackets its own point estimate;
 //   - the empty filter's estimate is the exact record count.
 func TestStressConcurrentIngestAndQuery(t *testing.T) {
-	srv, ts := startServer(t, WithShards(4))
+	srv, ts := startServer(t, WithScheme(stressScheme(t)), WithShards(4))
 
 	const (
 		submitters  = 4
@@ -151,7 +165,7 @@ func TestStressConcurrentIngestAndQuery(t *testing.T) {
 //     cache may substitute one for the other, so divergence would be a
 //     correctness bug, not a tolerance issue.
 func TestStressConcurrentIngestAndMineJobs(t *testing.T) {
-	srv, ts := startServer(t, WithShards(4), WithMineWorkers(3))
+	srv, ts := startServer(t, WithScheme(stressScheme(t)), WithShards(4), WithMineWorkers(3))
 
 	const (
 		submitters  = 4
