@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// shortArgs is a fast self-hosted run small enough for a unit test.
+func shortArgs(extra ...string) []string {
+	args := []string{
+		"-duration", "500ms", "-workers", "16", "-rate", "300",
+		"-population", "2048", "-batch", "64", "-query-batch", "4",
+		"-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+func TestRunSelfHosted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if code := run(shortArgs("-out", out)); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	rpt, err := loadgen.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.Config.Scheme != "gamma" || rpt.Config.Seed != 7 {
+		t.Fatalf("report config %+v", rpt.Config)
+	}
+	if len(rpt.Results) == 0 {
+		t.Fatal("empty results")
+	}
+}
+
+func TestRunBadConfigExits2(t *testing.T) {
+	if code := run([]string{"-scheme", "rot13"}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-nonsense"}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_load.json")
+	if code := run(shortArgs("-out", out)); code != 0 {
+		t.Fatalf("baseline run exit %d", code)
+	}
+
+	// Gating a run against its own output must pass.
+	out2 := filepath.Join(dir, "BENCH_load2.json")
+	if code := run(shortArgs("-out", out2, "-baseline", out)); code != 0 {
+		t.Fatalf("self-gate exit %d, want 0", code)
+	}
+
+	// An impossible baseline must fail the gate with exit 1.
+	base, err := loadgen.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Results {
+		switch base.Results[i].Metric {
+		case "p99_ns":
+			base.Results[i].Value = 1 // 1ns p99: unbeatable
+		case "records_per_sec":
+			base.Results[i].Value = 1e12
+		}
+	}
+	impossible := filepath.Join(dir, "impossible.json")
+	if err := base.Write(impossible); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(shortArgs("-out", "", "-baseline", impossible)); code != 1 {
+		t.Fatalf("impossible gate exit %d, want 1", code)
+	}
+
+	// A missing baseline file is a config error, not a regression.
+	if code := run(shortArgs("-out", "", "-baseline", filepath.Join(dir, "absent.json"))); code != 2 {
+		t.Fatalf("absent baseline exit %d, want 2", code)
+	}
+}
+
+func TestMainSmoke(t *testing.T) {
+	// Default -out writes into the cwd; run from a temp dir so the repo
+	// tree stays clean.
+	t.Chdir(t.TempDir())
+	if code := run(shortArgs()); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if _, err := os.Stat("BENCH_load.json"); err != nil {
+		t.Fatalf("default report not written: %v", err)
+	}
+}

@@ -9,14 +9,15 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"os"
+	"strconv"
 
 	frapp "repro"
 )
 
-const (
-	nRecords = 30000
-	minSup   = 0.02
-)
+const minSup = 0.02
+
+var nRecords = exampleN(30000)
 
 func main() {
 	db, err := frapp.GenerateCensus(nRecords, 2005)
@@ -99,4 +100,15 @@ func report(name string, truth, mined *frapp.MiningResult) {
 		fmt.Printf("  %3d %s %8.1f %8.1f\n", le.Length, rho, le.FalseNegatives, le.FalsePositives)
 	}
 	fmt.Println()
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

@@ -13,12 +13,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	frapp "repro"
 )
 
-const nClients = 15000
+var nClients = exampleN(15000)
 
 func main() {
 	schema := frapp.CensusSchema()
@@ -110,4 +111,15 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

@@ -23,11 +23,13 @@ import (
 	"log"
 	"math/rand"
 	"net/http/httptest"
+	"os"
+	"strconv"
 
 	frapp "repro"
 )
 
-const clientsPerSite = 15000
+var clientsPerSite = exampleN(15000)
 
 func main() {
 	schema := frapp.CensusSchema()
@@ -179,4 +181,15 @@ func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

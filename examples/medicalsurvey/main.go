@@ -12,17 +12,20 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 
 	frapp "repro"
 )
 
 const (
-	nPatients = 40000
-	minSup    = 0.02
-	minConf   = 0.75
+	minSup  = 0.02
+	minConf = 0.75
 )
+
+var nPatients = exampleN(40000)
 
 func main() {
 	// The true patient population (HEALTH schema, Table 2). In a real
@@ -141,4 +144,15 @@ func submitRecords(pipe *frapp.Pipeline, truthDB *frapp.Database) *frapp.Databas
 	}
 	fmt.Printf("collected %d perturbed submissions\n", perturbed.N())
 	return perturbed
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

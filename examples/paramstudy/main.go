@@ -10,16 +10,19 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"os"
+	"strconv"
 
 	frapp "repro"
 )
 
 const (
-	nRecords  = 30000
 	minSup    = 0.02
 	targetLen = 4 // the paper's Figure 3 itemset length
 	steps     = 6
 )
+
+var nRecords = exampleN(30000)
 
 func main() {
 	db, err := frapp.GenerateCensus(nRecords, 11)
@@ -91,4 +94,15 @@ func main() {
 	}
 	fmt.Println("\nThe range widens (better privacy) while the error moves only slightly —")
 	fmt.Println("the Section 4 tradeoff the paper calls 'very much in our favour'.")
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

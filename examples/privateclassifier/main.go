@@ -10,14 +10,18 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"strconv"
 
 	frapp "repro"
 )
 
-const (
-	nTrain    = 80000
-	nTest     = 10000
-	classAttr = 6 // HEALTH status, the last attribute of Table 2
+const classAttr = 6 // HEALTH status, the last attribute of Table 2
+
+// The test set keeps the default 8:1 train:test ratio when shrunk.
+var (
+	nTrain = exampleN(80000)
+	nTest  = nTrain / 8
 )
 
 func main() {
@@ -73,4 +77,15 @@ func main() {
 	fmt.Printf("Naive Bayes on raw data:     %.1f%% (no privacy)\n", accExact*100)
 	fmt.Printf("Naive Bayes on perturbed:    %.1f%% (strict (5%%, 50%%) privacy)\n", accPrivate*100)
 	fmt.Printf("privacy cost:                %.1f points of accuracy\n", (accExact-accPrivate)*100)
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

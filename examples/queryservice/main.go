@@ -13,11 +13,13 @@ import (
 	"log"
 	"math/rand"
 	"net/http/httptest"
+	"os"
+	"strconv"
 
 	frapp "repro"
 )
 
-const nClients = 40000
+var nClients = exampleN(40000)
 
 func main() {
 	schema := frapp.CensusSchema()
@@ -109,4 +111,15 @@ func trueCount(db *frapp.Database, schema *frapp.Schema, f frapp.QueryFilter) fl
 		}
 	}
 	return c
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

@@ -8,13 +8,15 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"strconv"
 
 	frapp "repro"
 )
 
 func main() {
 	// A CENSUS-like database of 20,000 records (Table 1 schema).
-	db, err := frapp.GenerateCensus(20000, 42)
+	db, err := frapp.GenerateCensus(exampleN(20000), 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,4 +71,15 @@ func main() {
 		fmt.Printf("  length %d: support error %.1f%%, sigma- %.1f%%, sigma+ %.1f%%\n",
 			le.Length, le.SupportError, le.FalseNegatives, le.FalsePositives)
 	}
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

@@ -24,15 +24,17 @@ import (
 	"math/bits"
 	"math/rand"
 	"os"
+	"strconv"
 
 	frapp "repro"
 )
 
 const (
-	records = 40000
-	minsup  = 0.02
-	seed    = 2005
+	minsup = 0.02
+	seed   = 2005
 )
+
+var records = exampleN(40000)
 
 func main() {
 	if err := run(); err != nil {
@@ -174,4 +176,15 @@ func rowsToItems(m *frapp.BoolMapping, rows []uint64) [][]frapp.Item {
 		out[i] = items
 	}
 	return out
+}
+
+// exampleN returns def, unless the FRAPP_EXAMPLE_N environment variable
+// overrides it — the examples smoke test shrinks runs to seconds with it.
+func exampleN(def int) int {
+	if s := os.Getenv("FRAPP_EXAMPLE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }

@@ -1,0 +1,59 @@
+// Package examples_test smoke-checks every example program: go vet
+// must be clean and a FRAPP_EXAMPLE_N-shrunk run must exit 0. The
+// examples are documentation that executes; this test keeps them from
+// rotting as the API underneath them moves.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// smokeN shrinks each example's dataset; every example must still
+// succeed at this size (including their internal sanity assertions).
+const smokeN = "3000"
+
+// exampleDirs lists every example program directory.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(e.Name() + "/main.go"); err == nil {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) < 9 {
+		t.Fatalf("found only %d example programs: %v", len(dirs), dirs)
+	}
+	return dirs
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	for _, dir := range exampleDirs(t) {
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			vet := exec.Command("go", "vet", "./examples/"+dir)
+			vet.Dir = ".."
+			if out, err := vet.CombinedOutput(); err != nil {
+				t.Fatalf("go vet: %v\n%s", err, out)
+			}
+			run := exec.Command("go", "run", "./examples/"+dir)
+			run.Dir = ".."
+			run.Env = append(os.Environ(), "FRAPP_EXAMPLE_N="+smokeN)
+			if out, err := run.CombinedOutput(); err != nil {
+				t.Fatalf("go run: %v\n%s", err, out)
+			}
+		})
+	}
+}

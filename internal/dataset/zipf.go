@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf-skewed synthetic populations for load generation. Real
+// categorical traffic is never uniform: a few categories per attribute
+// absorb most of the probability mass (cities, diagnoses, user agents),
+// and attributes co-vary. The load harness (internal/loadgen) builds its
+// million-user populations from ZipfMixture so that submissions and
+// queries concentrate on realistically hot cells of the domain instead
+// of spreading evenly across it — the access pattern that actually
+// stresses shard striping and the counter's hot paths.
+
+// ZipfWeights returns n probabilities with weight ∝ 1/rank^skew,
+// normalized to sum to 1: index 0 is the hottest rank. skew = 0 is the
+// uniform distribution; skew around 1 is the classic Zipf shape.
+func ZipfWeights(n int, skew float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: zipf over %d ranks", ErrSchema, n)
+	}
+	if skew < 0 || math.IsNaN(skew) || math.IsInf(skew, 0) {
+		return nil, fmt.Errorf("%w: zipf skew %v", ErrSchema, skew)
+	}
+	w := make([]float64, n)
+	var sum float64
+	for r := range w {
+		w[r] = math.Pow(float64(r+1), -skew)
+		sum += w[r]
+	}
+	for r := range w {
+		w[r] /= sum
+	}
+	return w, nil
+}
+
+// ZipfConfig shapes a ZipfMixture population.
+type ZipfConfig struct {
+	// Skew is the Zipf exponent of every attribute's category
+	// frequencies (0 = uniform, ~1 = classic heavy skew).
+	Skew float64
+	// Profiles is the number of correlated sub-populations layered on
+	// top of the skewed marginals. Each profile is drawn FROM the Zipf
+	// marginals, so correlation concentrates on already-hot cells.
+	Profiles int
+	// ProfileWeight is the total probability mass shared equally by the
+	// profiles (0 ≤ ProfileWeight ≤ 1); the remainder draws attributes
+	// independently from the marginals.
+	ProfileWeight float64
+	// Fidelity is the per-attribute probability that a profile record
+	// keeps the profile's value instead of falling back to the
+	// marginals (see Profile.Fidelity).
+	Fidelity float64
+}
+
+// ZipfMixture builds a MixtureModel whose per-attribute category
+// frequencies follow ZipfWeights(cardinality, cfg.Skew) under a seeded
+// random rank permutation (so the hot category differs per attribute and
+// per seed), with cfg.Profiles correlated profiles drawn from those
+// marginals. The rank permutation and profile draws consume rng, so a
+// fixed seed reproduces the exact population model.
+func ZipfMixture(schema *Schema, cfg ZipfConfig, rng *rand.Rand) (*MixtureModel, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("%w: nil schema", ErrSchema)
+	}
+	if cfg.Profiles < 0 {
+		return nil, fmt.Errorf("%w: %d profiles", ErrSchema, cfg.Profiles)
+	}
+	if cfg.ProfileWeight < 0 || cfg.ProfileWeight > 1 || math.IsNaN(cfg.ProfileWeight) {
+		return nil, fmt.Errorf("%w: profile weight %v", ErrSchema, cfg.ProfileWeight)
+	}
+	if cfg.Profiles > 0 && cfg.ProfileWeight > 0 && (cfg.Fidelity <= 0 || cfg.Fidelity > 1) {
+		return nil, fmt.Errorf("%w: profile fidelity %v", ErrSchema, cfg.Fidelity)
+	}
+	marginals := make([][]float64, schema.M())
+	for j, a := range schema.Attrs {
+		w, err := ZipfWeights(a.Cardinality(), cfg.Skew)
+		if err != nil {
+			return nil, err
+		}
+		// Scatter the rank order across category indices so "hot" is not
+		// always category 0.
+		marg := make([]float64, a.Cardinality())
+		for rank, cat := range rng.Perm(a.Cardinality()) {
+			marg[cat] = w[rank]
+		}
+		marginals[j] = marg
+	}
+	model := &MixtureModel{Schema: schema, Marginals: marginals}
+	if cfg.Profiles > 0 && cfg.ProfileWeight > 0 {
+		each := cfg.ProfileWeight / float64(cfg.Profiles)
+		for p := 0; p < cfg.Profiles; p++ {
+			values := make(Record, schema.M())
+			for j := range values {
+				values[j] = sampleWeighted(marginals[j], rng)
+			}
+			model.Profiles = append(model.Profiles, Profile{
+				Values: values, Weight: each, Fidelity: cfg.Fidelity,
+			})
+		}
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// HotCategories returns the category indices of attribute j sorted from
+// most to least probable under the model's effective distribution
+// (profiles folded into the marginals) — the cells a realistic workload
+// hammers. Ties break toward lower category index.
+func (m *MixtureModel) HotCategories(j int) ([]int, error) {
+	if m.Schema == nil || j < 0 || j >= m.Schema.M() {
+		return nil, fmt.Errorf("%w: attribute position %d", ErrSchema, j)
+	}
+	eff, err := m.EffectiveMarginal(j)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(eff))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending probability: cardinalities are tiny.
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && eff[order[k]] > eff[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	return order, nil
+}
+
+// EffectiveMarginal returns attribute j's true category distribution
+// under the full mixture: the background marginal blended with every
+// profile's fidelity-weighted contribution. This is what a generated
+// population's empirical frequencies converge to.
+func (m *MixtureModel) EffectiveMarginal(j int) ([]float64, error) {
+	if m.Schema == nil || j < 0 || j >= m.Schema.M() {
+		return nil, fmt.Errorf("%w: attribute position %d", ErrSchema, j)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	base := make([]float64, len(m.Marginals[j]))
+	var sum float64
+	for _, p := range m.Marginals[j] {
+		sum += p
+	}
+	for v, p := range m.Marginals[j] {
+		base[v] = p / sum
+	}
+	var profileW float64
+	for _, p := range m.Profiles {
+		profileW += p.Weight
+	}
+	eff := make([]float64, len(base))
+	for v := range eff {
+		eff[v] = (1 - profileW) * base[v]
+	}
+	for _, p := range m.Profiles {
+		// A profile record keeps the profile value with prob Fidelity,
+		// otherwise falls back to the background marginal.
+		for v := range eff {
+			eff[v] += p.Weight * (1 - p.Fidelity) * base[v]
+		}
+		eff[p.Values[j]] += p.Weight * p.Fidelity
+	}
+	return eff, nil
+}
+
+// sampleWeighted draws an index proportional to the (normalized)
+// weights.
+func sampleWeighted(w []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	var acc float64
+	for i, p := range w {
+		acc += p
+		if r <= acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}

@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfWeightsShape(t *testing.T) {
+	w, err := ZipfWeights(5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for r := 1; r < len(w); r++ {
+		if w[r] >= w[r-1] {
+			t.Fatalf("weights not strictly decreasing: %v", w)
+		}
+	}
+	for _, p := range w {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// Zipf(1) over 5 ranks: w_r ∝ 1/r, H_5 = 137/60.
+	if math.Abs(w[0]-60.0/137.0) > 1e-12 {
+		t.Fatalf("w[0] = %v, want 60/137", w[0])
+	}
+	// skew 0 is uniform.
+	u, err := ZipfWeights(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range u {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Fatalf("uniform weights %v", u)
+		}
+	}
+}
+
+func TestZipfWeightsRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		skew float64
+	}{{0, 1}, {-3, 1}, {4, -0.5}, {4, math.NaN()}, {4, math.Inf(1)}} {
+		if _, err := ZipfWeights(tc.n, tc.skew); err == nil {
+			t.Errorf("ZipfWeights(%d, %v) accepted", tc.n, tc.skew)
+		}
+	}
+}
+
+// chiSquareStat computes Σ (obs−exp)²/exp for category counts against
+// expected probabilities.
+func chiSquareStat(counts []int, probs []float64, total int) float64 {
+	var stat float64
+	for i, c := range counts {
+		exp := probs[i] * float64(total)
+		d := float64(c) - exp
+		stat += d * d / exp
+	}
+	return stat
+}
+
+// TestZipfGeneratorChiSquare is the goodness-of-fit gate for the Zipf
+// category generator: at fixed seeds, per-attribute category counts of a
+// profile-free ZipfMixture population must fit ZipfWeights under a
+// chi-square test. Critical values are taken at alpha = 0.001 for the
+// attribute's df = cardinality−1; with fixed seeds the statistic is
+// deterministic, so the test cannot flake, and a generator regression
+// (wrong exponent, broken permutation, biased sampler) blows through the
+// bound immediately.
+func TestZipfGeneratorChiSquare(t *testing.T) {
+	// chi-square 99.9th percentile by df (1-based index).
+	critical := map[int]float64{1: 10.83, 2: 13.82, 3: 16.27, 4: 18.47, 5: 20.52}
+	const n = 50000
+	for _, seed := range []int64{1, 2005, 77} {
+		rng := rand.New(rand.NewSource(seed))
+		schema := CensusSchema()
+		model, err := ZipfMixture(schema, ZipfConfig{Skew: 1.1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := model.Generate(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, a := range schema.Attrs {
+			counts := make([]int, a.Cardinality())
+			for _, rec := range db.Records {
+				counts[rec[j]]++
+			}
+			stat := chiSquareStat(counts, model.Marginals[j], n)
+			crit := critical[a.Cardinality()-1]
+			if stat > crit {
+				t.Errorf("seed %d attribute %q: chi2 = %.2f exceeds %.2f (counts %v, want %v)",
+					seed, a.Name, stat, crit, counts, model.Marginals[j])
+			}
+		}
+	}
+}
+
+// TestZipfMixtureProfilesCorrelate proves the profiles actually induce
+// pairwise correlation: with a single profile, the joint frequency of
+// its (attr0, attr1) value pair provably exceeds the product of the
+// marginals (a two-component mixture of product distributions is
+// positively associated on the component's own values), and the
+// generated population must show that co-occurrence above independence
+// at a fixed seed.
+func TestZipfMixtureProfilesCorrelate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	schema := CensusSchema()
+	model, err := ZipfMixture(schema, ZipfConfig{
+		Skew: 1.0, Profiles: 1, ProfileWeight: 0.35, Fidelity: 0.95,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	db, err := model.Generate(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Profiles[0]
+	v0, v1 := p.Values[0], p.Values[1]
+	joint := 0
+	m0, m1 := 0, 0
+	for _, rec := range db.Records {
+		if rec[0] == v0 {
+			m0++
+		}
+		if rec[1] == v1 {
+			m1++
+		}
+		if rec[0] == v0 && rec[1] == v1 {
+			joint++
+		}
+	}
+	pJoint := float64(joint) / n
+	pIndep := float64(m0) / n * float64(m1) / n
+	if pJoint <= pIndep*1.05 {
+		t.Fatalf("no correlation: P(joint) = %.4f vs independent %.4f", pJoint, pIndep)
+	}
+}
+
+func TestEffectiveMarginalMatchesEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	schema := CensusSchema()
+	model, err := ZipfMixture(schema, ZipfConfig{
+		Skew: 0.8, Profiles: 4, ProfileWeight: 0.3, Fidelity: 0.9,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60000
+	db, err := model.Generate(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, a := range schema.Attrs {
+		eff, err := model.EffectiveMarginal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range eff {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("attribute %d effective marginal sums to %v", j, sum)
+		}
+		counts := make([]int, a.Cardinality())
+		for _, rec := range db.Records {
+			counts[rec[j]]++
+		}
+		for v := range eff {
+			got := float64(counts[v]) / n
+			if math.Abs(got-eff[v]) > 0.015 {
+				t.Errorf("attribute %q category %d: empirical %.4f vs effective %.4f",
+					a.Name, v, got, eff[v])
+			}
+		}
+	}
+}
+
+func TestHotCategoriesOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model, err := ZipfMixture(CensusSchema(), ZipfConfig{Skew: 1.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range model.Marginals {
+		hot, err := model.HotCategories(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff, err := model.EffectiveMarginal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(hot); i++ {
+			if eff[hot[i]] > eff[hot[i-1]] {
+				t.Fatalf("attribute %d hot order %v not descending under %v", j, hot, eff)
+			}
+		}
+	}
+	if _, err := model.HotCategories(-1); err == nil {
+		t.Fatal("HotCategories(-1) accepted")
+	}
+}
+
+func TestZipfMixtureRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	schema := CensusSchema()
+	for _, cfg := range []ZipfConfig{
+		{Skew: -1},
+		{Skew: 1, Profiles: -2},
+		{Skew: 1, Profiles: 2, ProfileWeight: 1.5},
+		{Skew: 1, Profiles: 2, ProfileWeight: 0.5, Fidelity: 0},
+		{Skew: 1, Profiles: 2, ProfileWeight: 0.5, Fidelity: 1.2},
+	} {
+		if _, err := ZipfMixture(schema, cfg, rng); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := ZipfMixture(nil, ZipfConfig{Skew: 1}, rng); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package loadgen
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/mining"
+)
+
+// ErrConfig is returned for invalid harness configuration; every parse
+// or validation failure wraps it, so bad input always surfaces as a
+// diagnostic, never a panic.
+var ErrConfig = errors.New("loadgen: invalid config")
+
+// Mix is the traffic mix: relative weights of the three endpoint
+// classes. Weights need not sum to anything particular; only ratios
+// matter.
+type Mix struct {
+	Submit float64
+	Query  float64
+	Mine   float64
+}
+
+// ParseMix parses "submit:query:mine" weight ratios, e.g. "90:9:1".
+// One or two components are allowed and leave the rest at 0
+// ("100" = submit-only, "80:20" = no mine traffic).
+func ParseMix(s string) (Mix, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) == 0 || len(parts) > 3 {
+		return Mix{}, fmt.Errorf("%w: mix %q must be submit[:query[:mine]]", ErrConfig, s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Mix{}, fmt.Errorf("%w: mix component %q: %v", ErrConfig, p, err)
+		}
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Mix{}, fmt.Errorf("%w: mix component %q must be a finite non-negative weight", ErrConfig, p)
+		}
+		vals[i] = v
+	}
+	m := Mix{Submit: vals[0], Query: vals[1], Mine: vals[2]}
+	if m.Submit+m.Query+m.Mine <= 0 {
+		return Mix{}, fmt.Errorf("%w: mix %q has zero total weight", ErrConfig, s)
+	}
+	return m, nil
+}
+
+// String renders the mix in the flag's own syntax.
+func (m Mix) String() string {
+	return fmt.Sprintf("%g:%g:%g", m.Submit, m.Query, m.Mine)
+}
+
+// weights returns the class weights in Classes() order.
+func (m Mix) weights() [numClasses]float64 {
+	return [numClasses]float64{ClassSubmit: m.Submit, ClassQuery: m.Query, ClassMine: m.Mine}
+}
+
+// Config is one load run, fully specified: every knob the report's
+// config block pins so a trajectory point is reproducible.
+type Config struct {
+	// Target is the base URL of the frapp-server under test; empty means
+	// self-host an in-process server (same handler stack, no network
+	// beyond the loopback HTTP transport).
+	Target string
+	// Schema and privacy contract of the collection (must match the
+	// target server's).
+	Schema     string
+	Scheme     string
+	Rho1, Rho2 float64
+	// Duration is how long the open-loop schedule runs.
+	Duration time.Duration
+	// Workers is the number of simulated concurrent clients draining the
+	// open-loop schedule.
+	Workers int
+	// Rate is the offered operation arrival rate (ops/sec across all
+	// classes); each submit op carries Batch records.
+	Rate float64
+	// Batch is records per submit-batch operation.
+	Batch int
+	// QueryBatch is filters per query operation.
+	QueryBatch int
+	// Mix is the class weight ratio.
+	Mix Mix
+	// Population is the synthetic population size (records prepared and
+	// cycled by submit traffic).
+	Population int
+	// Seed drives population synthesis, perturbation, and the arrival
+	// schedule; a fixed seed gives a reproducible workload.
+	Seed int64
+	// Skew is the Zipf exponent of category frequencies.
+	Skew float64
+	// Out is the BENCH_load.json path ("" = don't write).
+	Out string
+	// Baseline is the committed baseline report to gate against
+	// ("" = no gate).
+	Baseline string
+	// P99Tol is the allowed p99 latency growth factor vs baseline;
+	// RateTol is the required fraction of baseline records/sec.
+	P99Tol  float64
+	RateTol float64
+}
+
+// newFlagSet binds every knob to cfg; shared by ParseArgs and Usage so
+// the help text can never drift from the parser.
+func newFlagSet(cfg *Config, mix *string) *flag.FlagSet {
+	fs := flag.NewFlagSet("frapp-loadgen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&cfg.Target, "target", "", "base URL of the frapp-server under test (empty = self-hosted in-process server)")
+	fs.StringVar(&cfg.Schema, "schema", "census", "collection schema: census or health")
+	fs.StringVar(&cfg.Scheme, "scheme", "gamma", "perturbation scheme: gamma, mask, or cutpaste")
+	fs.Float64Var(&cfg.Rho1, "rho1", 0.05, "privacy prior bound rho1")
+	fs.Float64Var(&cfg.Rho2, "rho2", 0.50, "privacy posterior bound rho2")
+	fs.DurationVar(&cfg.Duration, "duration", 30*time.Second, "open-loop run duration")
+	fs.IntVar(&cfg.Workers, "workers", 256, "simulated concurrent clients")
+	fs.Float64Var(&cfg.Rate, "rate", 2000, "offered operation rate, ops/sec across all classes")
+	fs.IntVar(&cfg.Batch, "batch", 128, "records per submit-batch operation")
+	fs.IntVar(&cfg.QueryBatch, "query-batch", 16, "filters per query operation")
+	fs.StringVar(mix, "mix", "90:9:1", "traffic mix submit:query:mine weight ratio")
+	fs.IntVar(&cfg.Population, "population", 100000, "synthetic population size")
+	fs.Int64Var(&cfg.Seed, "seed", 2005, "seed for population, perturbation, and arrival schedule")
+	fs.Float64Var(&cfg.Skew, "zipf-skew", 1.1, "Zipf exponent of category frequencies")
+	fs.StringVar(&cfg.Out, "out", "BENCH_load.json", "machine-readable report path (empty = don't write)")
+	fs.StringVar(&cfg.Baseline, "baseline", "", "baseline report to gate p99/throughput against (empty = no gate)")
+	fs.Float64Var(&cfg.P99Tol, "p99-tol", 4.0, "allowed p99 latency growth factor vs baseline")
+	fs.Float64Var(&cfg.RateTol, "rate-tol", 0.25, "required fraction of baseline records/sec")
+	return fs
+}
+
+// ParseArgs parses frapp-loadgen's command line into a validated
+// Config. Errors (including -h) come back as values; nothing panics
+// and nothing is printed, so the caller owns the diagnostics.
+func ParseArgs(args []string) (*Config, error) {
+	cfg := &Config{}
+	var mix string
+	fs := newFlagSet(cfg, &mix)
+	if err := fs.Parse(args); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("%w: unexpected arguments %q", ErrConfig, fs.Args())
+	}
+	m, err := ParseMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Mix = m
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Usage returns the flag help text (ParseArgs itself prints nothing).
+func Usage() string {
+	var sb strings.Builder
+	sb.WriteString("frapp-loadgen drives a FRAPP collection server open-loop and gates perf regressions.\n\n")
+	var mix string
+	fs := newFlagSet(&Config{}, &mix)
+	fs.SetOutput(&sb)
+	fs.PrintDefaults()
+	return sb.String()
+}
+
+// Validate rejects configurations the driver cannot run safely.
+func (c *Config) Validate() error {
+	switch c.Schema {
+	case "census", "health":
+	default:
+		return fmt.Errorf("%w: unknown schema %q", ErrConfig, c.Schema)
+	}
+	if !validScheme(c.Scheme) {
+		return fmt.Errorf("%w: unknown scheme %q", ErrConfig, c.Scheme)
+	}
+	if c.Duration <= 0 || c.Duration > 24*time.Hour {
+		return fmt.Errorf("%w: duration %v out of (0, 24h]", ErrConfig, c.Duration)
+	}
+	if c.Workers < 1 || c.Workers > 1<<16 {
+		return fmt.Errorf("%w: workers %d out of [1, 65536]", ErrConfig, c.Workers)
+	}
+	if !(c.Rate > 0) || math.IsInf(c.Rate, 0) || c.Rate > 1e8 {
+		return fmt.Errorf("%w: rate %v out of (0, 1e8] ops/sec", ErrConfig, c.Rate)
+	}
+	if c.Batch < 1 || c.Batch > 1<<20 {
+		return fmt.Errorf("%w: batch %d out of [1, 1048576]", ErrConfig, c.Batch)
+	}
+	if c.QueryBatch < 1 || c.QueryBatch > 1<<16 {
+		return fmt.Errorf("%w: query-batch %d out of [1, 65536]", ErrConfig, c.QueryBatch)
+	}
+	w := c.Mix.weights()
+	var total float64
+	for _, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: mix weight %v", ErrConfig, v)
+		}
+		total += v
+	}
+	if total <= 0 {
+		return fmt.Errorf("%w: mix has zero total weight", ErrConfig)
+	}
+	if c.Population < c.Batch {
+		return fmt.Errorf("%w: population %d smaller than one batch (%d)", ErrConfig, c.Population, c.Batch)
+	}
+	if c.Population > 1<<24 {
+		return fmt.Errorf("%w: population %d exceeds 16M", ErrConfig, c.Population)
+	}
+	if c.Skew < 0 || math.IsNaN(c.Skew) || math.IsInf(c.Skew, 0) {
+		return fmt.Errorf("%w: zipf-skew %v", ErrConfig, c.Skew)
+	}
+	if !(c.Rho1 > 0) || !(c.Rho2 > c.Rho1) || c.Rho2 >= 1 {
+		return fmt.Errorf("%w: privacy bounds rho1=%v rho2=%v need 0 < rho1 < rho2 < 1", ErrConfig, c.Rho1, c.Rho2)
+	}
+	if !(c.P99Tol >= 1) || math.IsInf(c.P99Tol, 0) {
+		return fmt.Errorf("%w: p99-tol %v must be ≥ 1", ErrConfig, c.P99Tol)
+	}
+	if !(c.RateTol > 0) || c.RateTol > 1 {
+		return fmt.Errorf("%w: rate-tol %v out of (0, 1]", ErrConfig, c.RateTol)
+	}
+	return nil
+}
+
+// validScheme checks the name against the mining registry.
+func validScheme(name string) bool {
+	for _, s := range mining.SchemeNames() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}

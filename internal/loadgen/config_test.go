@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	cfg, err := ParseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != "gamma" || cfg.Schema != "census" {
+		t.Fatalf("defaults %q/%q", cfg.Scheme, cfg.Schema)
+	}
+	if cfg.Duration != 30*time.Second || cfg.Workers != 256 {
+		t.Fatalf("defaults duration=%v workers=%d", cfg.Duration, cfg.Workers)
+	}
+	if cfg.Mix != (Mix{Submit: 90, Query: 9, Mine: 1}) {
+		t.Fatalf("default mix %+v", cfg.Mix)
+	}
+	if cfg.Out != "BENCH_load.json" {
+		t.Fatalf("default out %q", cfg.Out)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	cfg, err := ParseArgs([]string{
+		"-target", "http://localhost:9999", "-scheme", "mask",
+		"-duration", "5s", "-workers", "32", "-rate", "100",
+		"-mix", "70:30", "-population", "5000", "-batch", "50",
+		"-seed", "42", "-baseline", "base.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != "mask" || cfg.Workers != 32 || cfg.Seed != 42 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if cfg.Mix != (Mix{Submit: 70, Query: 30}) {
+		t.Fatalf("mix %+v", cfg.Mix)
+	}
+}
+
+func TestParseArgsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scheme", "rot13"},
+		{"-schema", "tax"},
+		{"-duration", "0s"},
+		{"-duration", "-3s"},
+		{"-duration", "25h"},
+		{"-workers", "0"},
+		{"-workers", "-1"},
+		{"-rate", "0"},
+		{"-rate", "NaN"},
+		{"-rate", "+Inf"},
+		{"-batch", "0"},
+		{"-mix", "0:0:0"},
+		{"-mix", "a:b"},
+		{"-mix", "1:2:3:4"},
+		{"-mix", "-5:1"},
+		{"-population", "10", "-batch", "100"},
+		{"-population", "99999999"},
+		{"-zipf-skew", "-1"},
+		{"-rho1", "0.9", "-rho2", "0.5"},
+		{"-p99-tol", "0.5"},
+		{"-rate-tol", "0"},
+		{"-rate-tol", "2"},
+		{"-no-such-flag"},
+		{"positional"},
+	} {
+		if _, err := ParseArgs(args); err == nil {
+			t.Errorf("ParseArgs(%q) accepted", args)
+		} else if !errors.Is(err, ErrConfig) {
+			t.Errorf("ParseArgs(%q) error %v does not wrap ErrConfig", args, err)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	for s, want := range map[string]Mix{
+		"100":     {Submit: 100},
+		"80:20":   {Submit: 80, Query: 20},
+		"90:9:1":  {Submit: 90, Query: 9, Mine: 1},
+		"0:0:1":   {Mine: 1},
+		" 1 : 2 ": {Submit: 1, Query: 2},
+	} {
+		got, err := ParseMix(s)
+		if err != nil {
+			t.Errorf("ParseMix(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseMix(%q) = %+v, want %+v", s, got, want)
+		}
+	}
+}
+
+func TestUsageListsEveryFlag(t *testing.T) {
+	u := Usage()
+	for _, flag := range []string{
+		"-target", "-schema", "-scheme", "-rho1", "-rho2", "-duration",
+		"-workers", "-rate", "-batch", "-query-batch", "-mix",
+		"-population", "-seed", "-zipf-skew", "-out", "-baseline",
+		"-p99-tol", "-rate-tol",
+	} {
+		if !strings.Contains(u, flag) {
+			t.Errorf("usage text missing %s", flag)
+		}
+	}
+}
+
+// FuzzParseArgs proves bad command lines always come back as wrapped
+// errors — never a panic, never a silent success with an invalid config.
+func FuzzParseArgs(f *testing.F) {
+	f.Add("-duration 5s -workers 8")
+	f.Add("-mix 1:2:3 -rate 1e6")
+	f.Add("-mix ::: -batch -9")
+	f.Add("-rate inf -population 0")
+	f.Add("-seed 9223372036854775807 -zipf-skew 1e308")
+	f.Fuzz(func(t *testing.T, line string) {
+		args := strings.Fields(line)
+		cfg, err := ParseArgs(args)
+		if err != nil {
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("ParseArgs(%q) error %v does not wrap ErrConfig", args, err)
+			}
+			return
+		}
+		// Whatever parses must also validate: ParseArgs may not hand the
+		// driver a config Validate would reject.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseArgs(%q) returned invalid config: %v", args, err)
+		}
+	})
+}
+
+// FuzzParseMix proves arbitrary mix strings never panic and never
+// produce a zero-weight mix.
+func FuzzParseMix(f *testing.F) {
+	f.Add("90:9:1")
+	f.Add("::::")
+	f.Add("1e309:0")
+	f.Add("-0:NaN")
+	f.Add("\x00:\xff")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMix(s)
+		if err != nil {
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("ParseMix(%q) error %v does not wrap ErrConfig", s, err)
+			}
+			return
+		}
+		if m.Submit+m.Query+m.Mine <= 0 {
+			t.Fatalf("ParseMix(%q) accepted zero-weight mix %+v", s, m)
+		}
+	})
+}

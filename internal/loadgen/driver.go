@@ -1,0 +1,316 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// The driver is OPEN-LOOP: operations arrive on a fixed schedule
+// derived from -rate, independent of how fast the server answers, the
+// way millions of independent respondents actually behave — no client
+// politely waits for another's response before submitting. Latency is
+// measured from each operation's SCHEDULED time, not its send time, so
+// queueing delay under saturation counts against the server
+// (coordinated omission is not hidden). The achieved-vs-offered rate
+// gap is itself a primary signal: a server that keeps p99 low by
+// admitting less load does not get away with it.
+
+// mineProbeParams is the mining-job payload of ClassMine traffic:
+// singleton-only Apriori at a high threshold — a cheap job shape, so
+// mine traffic exercises the job queue and worker pool rather than
+// turning the run into an Apriori benchmark.
+var mineProbeParams = service.MineParams{MinSupport: 0.25, Limit: 16, MaxLen: 1}
+
+// op is one scheduled operation.
+type op struct {
+	class     Class
+	scheduled time.Time
+	idx       int
+}
+
+// RunStats is everything one open-loop run measured.
+type RunStats struct {
+	Rec *Recorder
+	// Elapsed is wall time from first scheduled op to full drain;
+	// ScheduleSpan is the configured open-loop schedule length the
+	// offered rate is defined over. Under saturation Elapsed exceeds
+	// ScheduleSpan by the drain time.
+	Elapsed      time.Duration
+	ScheduleSpan time.Duration
+	// Scheduled is the number of ops the schedule intended
+	// (rate × duration); Dispatched is how many were actually issued
+	// (the dispatcher skips nothing, but context cancellation cuts the
+	// schedule short).
+	Scheduled, Dispatched uint64
+	// PrepareTime is the off-path cost of perturbing and encoding the
+	// population; PreparedRecords the records prepared.
+	PrepareTime     time.Duration
+	PreparedRecords int
+	// ServerRecords is the server's record count after the run
+	// (best-effort; -1 if stats failed).
+	ServerRecords int
+	// Scheme is the scheme the client negotiated with the server.
+	Scheme string
+}
+
+// OfferedRate returns the scheduled arrival rate in ops/sec — over the
+// configured schedule span, not the (possibly drain-stretched) elapsed
+// time, so the offered-vs-achieved gap is visible under saturation.
+func (s *RunStats) OfferedRate() float64 {
+	if s.ScheduleSpan <= 0 {
+		return 0
+	}
+	return float64(s.Scheduled) / s.ScheduleSpan.Seconds()
+}
+
+// AchievedRate returns completed (successful) ops/sec across classes.
+func (s *RunStats) AchievedRate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	var ok uint64
+	for _, c := range Classes() {
+		ok += s.Rec.OK(c)
+	}
+	return float64(ok) / s.Elapsed.Seconds()
+}
+
+// RecordsPerSec returns sustained accepted records/sec of ingestion.
+func (s *RunStats) RecordsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Rec.Records()) / s.Elapsed.Seconds()
+}
+
+// RunOption configures Run.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	httpClient *http.Client
+}
+
+// WithRunHTTPClient substitutes the HTTP transport (tests use the
+// httptest server's client).
+func WithRunHTTPClient(h *http.Client) RunOption {
+	return func(c *runConfig) { c.httpClient = h }
+}
+
+// defaultTransport builds a transport with enough idle connections for
+// the worker count — the default transport's per-host idle cap of 2
+// would make every worker pay a fresh TCP handshake per op.
+func defaultTransport(workers int) *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = workers + 16
+	t.MaxIdleConnsPerHost = workers + 16
+	return &http.Client{Transport: t, Timeout: 60 * time.Second}
+}
+
+// NewWorkloadClient negotiates a service client for cfg against its
+// target, with a transport sized for cfg.Workers.
+func NewWorkloadClient(cfg *Config, opts ...RunOption) (*service.Client, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.httpClient == nil {
+		rc.httpClient = defaultTransport(cfg.Workers)
+	}
+	client, err := service.NewClient(cfg.Target, service.WithHTTPClient(rc.httpClient))
+	if err != nil {
+		return nil, err
+	}
+	if client.Scheme() != cfg.Scheme {
+		return nil, fmt.Errorf("%w: server runs scheme %q, config wants %q", ErrConfig, client.Scheme(), cfg.Scheme)
+	}
+	return client, nil
+}
+
+// PrepareBatches perturbs and encodes the whole population into
+// submit-batch bodies, in parallel. Batch i draws from its own rng
+// seeded cfg.Seed+i+1, so the prepared payloads are deterministic in
+// cfg.Seed regardless of parallelism. The final batch may be short
+// (population need not divide evenly); together the batches cover every
+// population record exactly once.
+func PrepareBatches(cfg *Config, pop *Population, client *service.Client) ([]*service.PreparedBatch, error) {
+	recs := pop.DB.Records
+	nb := (len(recs) + cfg.Batch - 1) / cfg.Batch
+	prepared := make([]*service.PreparedBatch, nb)
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nb {
+		workers = nb
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nb || firstErr.Load() != nil {
+					return
+				}
+				lo := i * cfg.Batch
+				hi := lo + cfg.Batch
+				if hi > len(recs) {
+					hi = len(recs)
+				}
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))
+				p, err := client.PrepareBatch(recs[lo:hi], rng)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				prepared[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+	return prepared, nil
+}
+
+// Run drives one open-loop load run against cfg.Target and returns its
+// measurements. The population must already be built; the server must
+// be reachable and must run cfg's schema/scheme contract.
+func Run(ctx context.Context, cfg *Config, pop *Population, opts ...RunOption) (*RunStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("%w: Run needs a target URL (self-hosting is the command's job)", ErrConfig)
+	}
+	client, err := NewWorkloadClient(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	batches, err := PrepareBatches(cfg, pop, client)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RunStats{
+		Rec:             NewRecorder(),
+		ScheduleSpan:    cfg.Duration,
+		PrepareTime:     time.Since(t0),
+		PreparedRecords: pop.DB.N(),
+		ServerRecords:   -1,
+		Scheme:          client.Scheme(),
+	}
+	filterBatches := pop.FilterBatches(cfg.QueryBatch)
+	if len(filterBatches) == 0 {
+		return nil, fmt.Errorf("%w: population produced no probe filters", ErrConfig)
+	}
+
+	// Warm the collection with one batch before the clock starts, so
+	// early query ops never race an empty counter into 409s.
+	if err := client.SubmitPrepared(batches[0]); err != nil {
+		return nil, fmt.Errorf("warm-up submit: %w", err)
+	}
+
+	total := uint64(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	stats.Scheduled = total
+	ops := make(chan op, cfg.Workers*2)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range ops {
+				runOp(client, cfg, stats.Rec, batches, filterBatches, o)
+			}
+		}()
+	}
+
+	// The dispatcher: class choice and payload rotation are seeded, so a
+	// fixed seed replays the same operation sequence at the same
+	// schedule.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x10adbeef))
+	weights := cfg.Mix.weights()
+	weightSum := weights[ClassSubmit] + weights[ClassQuery] + weights[ClassMine]
+	var classIdx [numClasses]int
+	start := time.Now()
+	var dispatched uint64
+dispatch:
+	for i := uint64(0); i < total; i++ {
+		at := start.Add(time.Duration(float64(i) * float64(time.Second) / cfg.Rate))
+		if d := time.Until(at); d > 0 {
+			select {
+			case <-ctx.Done():
+				break dispatch
+			case <-time.After(d):
+			}
+		}
+		r := rng.Float64() * weightSum
+		class := ClassSubmit
+		switch {
+		case r < weights[ClassSubmit]:
+			class = ClassSubmit
+		case r < weights[ClassSubmit]+weights[ClassQuery]:
+			class = ClassQuery
+		default:
+			class = ClassMine
+		}
+		idx := classIdx[class]
+		classIdx[class]++
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case ops <- op{class: class, scheduled: at, idx: idx}:
+			dispatched++
+		}
+	}
+	close(ops)
+	wg.Wait()
+	stats.Dispatched = dispatched
+	stats.Elapsed = time.Since(start)
+
+	if sr, err := client.Stats(); err == nil {
+		stats.ServerRecords = sr.Records
+	}
+	return stats, nil
+}
+
+// runOp executes one operation and records its outcome. Latency is
+// measured from the scheduled time: time an op spent waiting for a free
+// worker is server-induced queueing under open-loop load and must count.
+func runOp(client *service.Client, cfg *Config, rec *Recorder, batches []*service.PreparedBatch, filterBatches [][]service.QueryFilter, o op) {
+	var err error
+	records := 0
+	switch o.class {
+	case ClassSubmit:
+		b := batches[o.idx%len(batches)]
+		if err = client.SubmitPrepared(b); err == nil {
+			records = b.Len()
+		}
+	case ClassQuery:
+		_, err = client.QueryAll(filterBatches[o.idx%len(filterBatches)])
+	case ClassMine:
+		_, err = client.SubmitMineJob(mineProbeParams)
+	}
+	if err != nil {
+		rec.Failure(o.class, errors.Is(err, service.ErrBusy))
+		return
+	}
+	rec.Success(o.class, time.Since(o.scheduled), records)
+}

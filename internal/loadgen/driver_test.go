@@ -1,0 +1,320 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// testConfig returns a small, fast, valid config for driver tests.
+func testConfig() *Config {
+	cfg, err := ParseArgs(nil)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Population = 2048
+	cfg.Batch = 64
+	cfg.QueryBatch = 4
+	cfg.Workers = 16
+	cfg.Rate = 400
+	cfg.Duration = 600 * time.Millisecond
+	return cfg
+}
+
+// startLoadServer brings up an httptest frapp-server matching cfg's
+// schema/scheme/privacy contract.
+func startLoadServer(t *testing.T, cfg *Config) *httptest.Server {
+	t.Helper()
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.NewServer(pop.Schema,
+		core.PrivacySpec{Rho1: cfg.Rho1, Rho2: cfg.Rho2},
+		service.WithScheme(cfg.Scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestBuildPopulationDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DB.N() != cfg.Population || b.DB.N() != cfg.Population {
+		t.Fatalf("population sizes %d, %d; want %d", a.DB.N(), b.DB.N(), cfg.Population)
+	}
+	for i := range a.DB.Records {
+		for j := range a.DB.Records[i] {
+			if a.DB.Records[i][j] != b.DB.Records[i][j] {
+				t.Fatalf("record %d attr %d differs across same-seed builds", i, j)
+			}
+		}
+	}
+	if len(a.Probes) != len(b.Probes) {
+		t.Fatalf("probe counts %d vs %d", len(a.Probes), len(b.Probes))
+	}
+	for i := range a.Probes {
+		if a.Probes[i].Exact != b.Probes[i].Exact {
+			t.Fatalf("probe %d exact support differs: %d vs %d", i, a.Probes[i].Exact, b.Probes[i].Exact)
+		}
+	}
+}
+
+func TestPopulationProbes(t *testing.T) {
+	cfg := testConfig()
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pop.Schema.M()
+	want := 2*m + (m - 1)
+	if len(pop.Probes) != want {
+		t.Fatalf("got %d probes, want %d (2 per attribute + adjacent pairs)", len(pop.Probes), want)
+	}
+	anySupport := false
+	for i, p := range pop.Probes {
+		if len(p.Filter) != len(p.Items) {
+			t.Fatalf("probe %d filter has %d keys for %d items", i, len(p.Filter), len(p.Items))
+		}
+		if p.Exact < 0 || p.Exact > pop.DB.N() {
+			t.Fatalf("probe %d exact support %d out of range", i, p.Exact)
+		}
+		if p.Exact > 0 {
+			anySupport = true
+		}
+		// Hot singletons of a Zipf-skewed population must be genuinely
+		// hot: more frequent than the uniform share.
+		if len(p.Items) == 1 {
+			attr := p.Items[0].Attr
+			uniform := pop.DB.N() / len(pop.Schema.Attrs[attr].Categories)
+			if p.Exact < uniform/2 {
+				t.Errorf("probe %d: hot cell support %d below half the uniform share %d", i, p.Exact, uniform)
+			}
+		}
+	}
+	if !anySupport {
+		t.Fatal("no probe has any support")
+	}
+}
+
+func TestFilterBatches(t *testing.T) {
+	cfg := testConfig()
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := pop.FilterBatches(cfg.QueryBatch)
+	if len(batches) != len(pop.Probes) {
+		t.Fatalf("got %d batches, want %d", len(batches), len(pop.Probes))
+	}
+	for i, b := range batches {
+		if len(b) != cfg.QueryBatch {
+			t.Fatalf("batch %d has %d filters, want %d", i, len(b), cfg.QueryBatch)
+		}
+	}
+	if pop.FilterBatches(0) != nil {
+		t.Fatal("FilterBatches(0) should be nil")
+	}
+}
+
+func TestPrepareBatchesCoversPopulation(t *testing.T) {
+	cfg := testConfig()
+	ts := startLoadServer(t, cfg)
+	cfg.Target = ts.URL
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewWorkloadClient(cfg, WithRunHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := PrepareBatches(cfg, pop, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := (cfg.Population + cfg.Batch - 1) / cfg.Batch
+	if len(batches) != wantBatches {
+		t.Fatalf("got %d batches, want %d", len(batches), wantBatches)
+	}
+	total := 0
+	for _, b := range batches {
+		total += b.Len()
+		if b.WireSize() <= 0 {
+			t.Fatal("empty wire body")
+		}
+	}
+	if total != cfg.Population {
+		t.Fatalf("prepared %d records, want %d", total, cfg.Population)
+	}
+	// Same seed must produce byte-identical payloads regardless of the
+	// parallel preparation order.
+	again, err := PrepareBatches(cfg, pop, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batches {
+		if batches[i].WireSize() != again[i].WireSize() {
+			t.Fatalf("batch %d wire size differs across same-seed prepares", i)
+		}
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	cfg := testConfig()
+	ts := startLoadServer(t, cfg)
+	cfg.Target = ts.URL
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(context.Background(), cfg, pop, WithRunHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dispatched == 0 || stats.Dispatched > stats.Scheduled {
+		t.Fatalf("dispatched %d of %d scheduled", stats.Dispatched, stats.Scheduled)
+	}
+	if stats.Rec.OK(ClassSubmit) == 0 {
+		t.Fatal("no successful submits")
+	}
+	if stats.Rec.Failed(ClassSubmit) > 0 || stats.Rec.Failed(ClassQuery) > 0 {
+		t.Fatalf("hard failures: submit %d, query %d", stats.Rec.Failed(ClassSubmit), stats.Rec.Failed(ClassQuery))
+	}
+	if stats.Rec.Records() == 0 || stats.RecordsPerSec() <= 0 {
+		t.Fatalf("no ingested records (%d)", stats.Rec.Records())
+	}
+	if stats.ServerRecords <= 0 {
+		t.Fatalf("server records %d", stats.ServerRecords)
+	}
+	if stats.Scheme != cfg.Scheme {
+		t.Fatalf("negotiated scheme %q, want %q", stats.Scheme, cfg.Scheme)
+	}
+	if stats.OfferedRate() <= 0 || stats.AchievedRate() <= 0 {
+		t.Fatalf("rates offered=%v achieved=%v", stats.OfferedRate(), stats.AchievedRate())
+	}
+
+	rpt := BuildReport(cfg, stats)
+	for _, metric := range []string{"p50_ns", "p95_ns", "p99_ns", "max_ns"} {
+		v, ok := rpt.metric("load_submit", metric)
+		if !ok || v <= 0 {
+			t.Fatalf("report missing load_submit %s", metric)
+		}
+	}
+	if v, ok := rpt.metric("load_total", "records_per_sec"); !ok || v <= 0 {
+		t.Fatal("report missing records_per_sec")
+	}
+	if rpt.Config.Mix != cfg.Mix.String() {
+		t.Fatalf("report mix %q, want %q", rpt.Config.Mix, cfg.Mix.String())
+	}
+	if s := rpt.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	cfg := testConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.Rate = 50
+	ts := startLoadServer(t, cfg)
+	cfg.Target = ts.URL
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	stats, err := Run(ctx, cfg, pop, WithRunHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if stats.Dispatched >= stats.Scheduled {
+		t.Fatalf("cancellation did not cut the schedule: %d of %d", stats.Dispatched, stats.Scheduled)
+	}
+}
+
+func TestRunRejectsSchemeMismatch(t *testing.T) {
+	cfg := testConfig()
+	ts := startLoadServer(t, cfg) // gamma server
+	cfg.Target = ts.URL
+	cfg.Scheme = "mask"
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), cfg, pop, WithRunHTTPClient(ts.Client())); err == nil {
+		t.Fatal("scheme mismatch accepted")
+	}
+}
+
+// TestQueryEquivalence is the acceptance check: the Zipf population's
+// exact supports must be recovered by /v1/query within the reported 95%
+// CI on at least 95% of the probed itemsets, at a fixed seed.
+func TestQueryEquivalence(t *testing.T) {
+	cfg := testConfig()
+	cfg.Population = 30000
+	cfg.Batch = 500
+	ts := startLoadServer(t, cfg)
+	cfg.Target = ts.URL
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewWorkloadClient(cfg, WithRunHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := PrepareBatches(cfg, pop, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := client.SubmitPrepared(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filters := make([]service.QueryFilter, len(pop.Probes))
+	for i, p := range pop.Probes {
+		filters[i] = p.Filter
+	}
+	resp, err := client.QueryAll(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Records != cfg.Population {
+		t.Fatalf("server estimated over %d records, want %d", resp.Records, cfg.Population)
+	}
+	covered := 0
+	for i, est := range resp.Estimates {
+		exact := float64(pop.Probes[i].Exact)
+		if est.Lo <= exact && exact <= est.Hi {
+			covered++
+		} else {
+			t.Logf("probe %d %v: exact %v outside CI [%.1f, %.1f] (count %.1f)",
+				i, pop.Probes[i].Items, exact, est.Lo, est.Hi, est.Count)
+		}
+	}
+	need := (len(pop.Probes)*95 + 99) / 100
+	if covered < need {
+		t.Fatalf("CI covered exact support on %d/%d probes, need ≥ %d", covered, len(pop.Probes), need)
+	}
+}

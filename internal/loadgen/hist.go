@@ -1,0 +1,255 @@
+// Package loadgen is the million-user synthetic workload harness: it
+// builds Zipf-skewed correlated populations (internal/dataset), drives
+// a live FRAPP collection server open-loop with simulated clients
+// mixing submit-batch / query / mine-job traffic (internal/service
+// client), and records streaming latency histograms per endpoint class
+// into a machine-readable BENCH_load.json report with a perf-regression
+// gate against a committed baseline.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-linear ("HDR-style"): values below 2^histSubBits
+// ns get exact unit buckets; every higher octave [2^o, 2^(o+1)) is split
+// into 2^histSubBits equal sub-buckets, so the relative quantization
+// error is bounded by 2^-histSubBits ≈ 3.1% everywhere. Recording is a
+// couple of bit operations plus one atomic add — cheap enough to sit on
+// the hot path of every simulated client — and the whole histogram is a
+// fixed-size array, so there is nothing to allocate or resize under
+// load.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histMaxOctave caps the tracked range: the last regular bucket ends
+	// at 2^(histMaxOctave+1) ns ≈ 146 min. Anything slower lands in the
+	// overflow bucket and is reported via the exact tracked maximum.
+	histMaxOctave = 42
+	// histBuckets = unit buckets + sub-buckets per octave above, + 1
+	// overflow.
+	histBuckets = histSub + (histMaxOctave-histSubBits+1)*histSub + 1
+)
+
+// Histogram is a streaming, concurrency-safe log-bucketed latency
+// histogram. The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(ns int64) int {
+	u := uint64(ns)
+	if u < histSub {
+		return int(u)
+	}
+	o := bits.Len64(u) - 1 // top bit position, ≥ histSubBits
+	if o > histMaxOctave {
+		return histBuckets - 1 // overflow
+	}
+	shift := o - histSubBits
+	minor := (u >> uint(shift)) & (histSub - 1)
+	return (shift+1)*histSub + int(minor)
+}
+
+// bucketUpper returns the inclusive upper bound (ns) of bucket idx; the
+// overflow bucket has no bound and returns -1.
+func bucketUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	if idx >= histBuckets-1 {
+		return -1
+	}
+	k := idx/histSub - 1 // octave offset: o = histSubBits + k
+	o := histSubBits + k
+	minor := int64(idx - (k+1)*histSub)
+	return 1<<uint(o) + (minor+1)<<uint(o-histSubBits) - 1
+}
+
+// Record adds one latency observation. Negative durations clamp to 0.
+func (h *Histogram) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max returns the exact largest recorded value.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the exact arithmetic mean of recorded values.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Quantile returns an upper bound on the q-th sample quantile (rank
+// ceil(q·count), 1-based): the upper edge of the bucket holding that
+// sample, so the true sample value v satisfies v ≤ Quantile(q) ≤
+// v·(1+2^-5) (exact for v < 32ns). q ≥ 1 and samples in the overflow
+// bucket report the exact tracked maximum. Returns 0 on an empty
+// histogram; q below the first sample's mass returns that sample's
+// bucket bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for idx := 0; idx < histBuckets; idx++ {
+		cum += h.counts[idx].Load()
+		if cum >= rank {
+			upper := bucketUpper(idx)
+			if upper < 0 { // overflow bucket
+				return h.Max()
+			}
+			// The tracked max is exact and caps the bound, so a
+			// quantile never reports above the largest observation.
+			if m := h.Max(); time.Duration(upper) > m {
+				return m
+			}
+			return time.Duration(upper)
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds o's observations into h. Not atomic with respect to
+// concurrent recording on o; merge quiesced histograms.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Class is an endpoint class of the driven traffic.
+type Class int
+
+const (
+	// ClassSubmit is POST /v1/submit-batch ingestion traffic.
+	ClassSubmit Class = iota
+	// ClassQuery is POST /v1/query estimate traffic.
+	ClassQuery
+	// ClassMine is POST /v1/mine-jobs job-submission traffic.
+	ClassMine
+	numClasses
+)
+
+// String names the class as it appears in reports.
+func (c Class) String() string {
+	switch c {
+	case ClassSubmit:
+		return "submit"
+	case ClassQuery:
+		return "query"
+	case ClassMine:
+		return "mine"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classes lists the endpoint classes in report order.
+func Classes() []Class { return []Class{ClassSubmit, ClassQuery, ClassMine} }
+
+// Recorder accumulates per-class latency histograms and outcome
+// counters for one run. All methods are safe for concurrent use.
+type Recorder struct {
+	hist [numClasses]*Histogram
+	// ok/failed count operations; rejected counts backpressure refusals
+	// (HTTP 503 on a full mine-job queue) separately from hard failures.
+	ok       [numClasses]atomic.Uint64
+	failed   [numClasses]atomic.Uint64
+	rejected [numClasses]atomic.Uint64
+	// records counts individual records accepted through submit batches.
+	records atomic.Uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	r := &Recorder{}
+	for i := range r.hist {
+		r.hist[i] = NewHistogram()
+	}
+	return r
+}
+
+// Success records one completed operation's latency.
+func (r *Recorder) Success(c Class, d time.Duration, records int) {
+	r.hist[c].Record(d)
+	r.ok[c].Add(1)
+	if records > 0 {
+		r.records.Add(uint64(records))
+	}
+}
+
+// Failure records a failed operation; rejected marks server
+// backpressure (a refusal to enqueue) rather than an error.
+func (r *Recorder) Failure(c Class, rejected bool) {
+	if rejected {
+		r.rejected[c].Add(1)
+		return
+	}
+	r.failed[c].Add(1)
+}
+
+// Hist returns the class's histogram.
+func (r *Recorder) Hist(c Class) *Histogram { return r.hist[c] }
+
+// OK, Failed, and Rejected return the class's outcome counters.
+func (r *Recorder) OK(c Class) uint64       { return r.ok[c].Load() }
+func (r *Recorder) Failed(c Class) uint64   { return r.failed[c].Load() }
+func (r *Recorder) Rejected(c Class) uint64 { return r.rejected[c].Load() }
+
+// Records returns the total records accepted through submit batches.
+func (r *Recorder) Records() uint64 { return r.records.Load() }

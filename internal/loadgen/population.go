@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/service"
+)
+
+// Probe is one itemset the workload queries, carried with its exact
+// support in the generated population — the ground truth /v1/query
+// estimates are checked against.
+type Probe struct {
+	Items  mining.Itemset
+	Filter service.QueryFilter
+	// Exact is the number of population records matching the itemset.
+	Exact int
+}
+
+// Population is a seeded synthetic client population: the records the
+// simulated clients will perturb and submit, plus the hot-cell probe
+// itemsets their query traffic asks about.
+type Population struct {
+	Schema *dataset.Schema
+	Model  *dataset.MixtureModel
+	DB     *dataset.Database
+	Probes []Probe
+}
+
+// BuildPopulation synthesizes the population for cfg: Zipf-skewed
+// marginals with correlated profiles (hot cells), cfg.Population
+// records, and probe itemsets of arity 1 and 2 concentrated on the hot
+// cells, each with its exact support counted against the generated
+// records. Everything derives from cfg.Seed.
+func BuildPopulation(cfg *Config) (*Population, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var schema *dataset.Schema
+	switch cfg.Schema {
+	case "census":
+		schema = dataset.CensusSchema()
+	case "health":
+		schema = dataset.HealthSchema()
+	default:
+		return nil, fmt.Errorf("%w: unknown schema %q", ErrConfig, cfg.Schema)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model, err := dataset.ZipfMixture(schema, dataset.ZipfConfig{
+		Skew:          cfg.Skew,
+		Profiles:      8,
+		ProfileWeight: 0.3,
+		Fidelity:      0.95,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	db, err := model.Generate(cfg.Population, rng)
+	if err != nil {
+		return nil, err
+	}
+	probes, err := buildProbes(model, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Population{Schema: schema, Model: model, DB: db, Probes: probes}, nil
+}
+
+// buildProbes assembles the hot-cell probe set: the two hottest
+// singleton cells of every attribute, plus the hottest pair cell of
+// every adjacent attribute pair — the realistic shape of interactive
+// traffic, which asks about heads, not tails. Exact supports are
+// counted in one scan over the population.
+func buildProbes(model *dataset.MixtureModel, db *dataset.Database) ([]Probe, error) {
+	schema := db.Schema
+	var sets []mining.Itemset
+	for j := 0; j < schema.M(); j++ {
+		hot, err := model.HotCategories(j)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < 2 && k < len(hot); k++ {
+			set, err := mining.NewItemset(mining.Item{Attr: j, Value: hot[k]})
+			if err != nil {
+				return nil, err
+			}
+			sets = append(sets, set)
+		}
+	}
+	for j := 0; j+1 < schema.M(); j++ {
+		hotA, err := model.HotCategories(j)
+		if err != nil {
+			return nil, err
+		}
+		hotB, err := model.HotCategories(j + 1)
+		if err != nil {
+			return nil, err
+		}
+		set, err := mining.NewItemset(
+			mining.Item{Attr: j, Value: hotA[0]},
+			mining.Item{Attr: j + 1, Value: hotB[0]},
+		)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, set)
+	}
+	probes := make([]Probe, len(sets))
+	for i, set := range sets {
+		probes[i] = Probe{Items: set, Filter: filterFor(schema, set)}
+	}
+	for _, rec := range db.Records {
+		for i := range probes {
+			if matches(rec, probes[i].Items) {
+				probes[i].Exact++
+			}
+		}
+	}
+	return probes, nil
+}
+
+// filterFor renders an itemset as the /v1/query wire filter.
+func filterFor(schema *dataset.Schema, set mining.Itemset) service.QueryFilter {
+	f := make(service.QueryFilter, len(set))
+	for _, it := range set {
+		a := schema.Attrs[it.Attr]
+		f[a.Name] = a.Categories[it.Value]
+	}
+	return f
+}
+
+// matches reports whether rec supports the itemset.
+func matches(rec dataset.Record, set mining.Itemset) bool {
+	for _, it := range set {
+		if rec[it.Attr] != it.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterBatches slices the probe filters into query-op payloads of size
+// n, cycling so every batch is full.
+func (p *Population) FilterBatches(n int) [][]service.QueryFilter {
+	if n <= 0 || len(p.Probes) == 0 {
+		return nil
+	}
+	// One batch per probe offset, each n filters, wrapping around the
+	// probe set: every probe appears in n batches, every batch is full.
+	batches := make([][]service.QueryFilter, len(p.Probes))
+	for off := range batches {
+		batch := make([]service.QueryFilter, n)
+		for i := 0; i < n; i++ {
+			batch[i] = p.Probes[(off+i)%len(p.Probes)].Filter
+		}
+		batches[off] = batch
+	}
+	return batches
+}

@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeReport builds a report by hand with the given p99s (ns) and
+// record rate.
+func fakeReport(submitP99, queryP99, recRate float64) *Report {
+	return &Report{
+		Config: ReportConfig{Scheme: "gamma", Mix: "90:9:1"},
+		Results: []ReportRecord{
+			{Experiment: "load_submit", Metric: "p99_ns", Value: submitP99},
+			{Experiment: "load_query", Metric: "p99_ns", Value: queryP99},
+			{Experiment: "load_total", Metric: "records_per_sec", Value: recRate},
+		},
+	}
+}
+
+func TestCompareBaselinePasses(t *testing.T) {
+	base := fakeReport(1e6, 2e6, 100000)
+	cur := fakeReport(2e6, 3e6, 80000)
+	if v := CompareBaseline(cur, base, 4.0, 0.25); len(v) != 0 {
+		t.Fatalf("gate failed: %v", v)
+	}
+}
+
+func TestCompareBaselineP99Violation(t *testing.T) {
+	base := fakeReport(1e6, 1e6, 100000)
+	cur := fakeReport(5e6, 1e6, 100000) // submit p99 5× baseline
+	v := CompareBaseline(cur, base, 4.0, 0.25)
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+}
+
+func TestCompareBaselineRateViolation(t *testing.T) {
+	base := fakeReport(1e6, 1e6, 100000)
+	cur := fakeReport(1e6, 1e6, 10000) // 10% of baseline throughput
+	v := CompareBaseline(cur, base, 4.0, 0.25)
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+}
+
+func TestCompareBaselineMissingCurrentMetric(t *testing.T) {
+	base := fakeReport(1e6, 1e6, 100000)
+	cur := &Report{} // current run recorded nothing at all
+	v := CompareBaseline(cur, base, 4.0, 0.25)
+	if len(v) != 3 {
+		t.Fatalf("want 3 violations (2 classes + rate), got %v", v)
+	}
+}
+
+func TestCompareBaselineEmptyBaselineGatesNothing(t *testing.T) {
+	cur := fakeReport(1e9, 1e9, 1)
+	if v := CompareBaseline(cur, &Report{}, 4.0, 0.25); len(v) != 0 {
+		t.Fatalf("empty baseline produced violations: %v", v)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rpt := fakeReport(1e6, 2e6, 123456)
+	rpt.Config = ReportConfig{
+		Target: "http://x", Schema: "census", Scheme: "gamma",
+		Rho1: 0.05, Rho2: 0.5, DurationNs: int64(30 * time.Second),
+		Workers: 256, Rate: 2000, Batch: 128, QueryBatch: 16,
+		Mix: "90:9:1", Population: 100000, Seed: 2005, Skew: 1.1,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := rpt.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != rpt.Config {
+		t.Fatalf("config round-trip: %+v vs %+v", got.Config, rpt.Config)
+	}
+	if len(got.Results) != len(rpt.Results) {
+		t.Fatalf("results round-trip: %d vs %d", len(got.Results), len(rpt.Results))
+	}
+	if v, ok := got.metric("load_total", "records_per_sec"); !ok || v != 123456 {
+		t.Fatalf("records_per_sec %v %v", v, ok)
+	}
+}
+
+func TestReadReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("absent file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -222,19 +223,57 @@ func (c *Client) Submit(rec dataset.Record, rng *rand.Rand) error {
 
 // SubmitBatch perturbs and submits many records in one request.
 func (c *Client) SubmitBatch(recs []dataset.Record, rng *rand.Rand) error {
+	p, err := c.PrepareBatch(recs, rng)
+	if err != nil {
+		return err
+	}
+	return c.SubmitPrepared(p)
+}
+
+// PreparedBatch is a batch of locally perturbed records already encoded
+// into its wire body. Preparation (perturbation + JSON encoding) is the
+// CPU-heavy client-side half of a batched submission; splitting it from
+// the transmission lets callers do it off the latency path — the load
+// harness (internal/loadgen) prepares its whole synthetic population
+// up front so that open-loop submit latencies measure the server, not
+// the generator.
+type PreparedBatch struct {
+	body []byte
+	n    int
+}
+
+// Len returns the number of records in the prepared batch.
+func (p *PreparedBatch) Len() int { return p.n }
+
+// WireSize returns the encoded body size in bytes.
+func (p *PreparedBatch) WireSize() int { return len(p.body) }
+
+// PrepareBatch perturbs recs under the negotiated scheme and encodes
+// the result as one reusable submit-batch body. The perturbation is
+// drawn now, from rng — submitting the same prepared batch twice sends
+// the same perturbed records twice.
+func (c *Client) PrepareBatch(recs []dataset.Record, rng *rand.Rand) (*PreparedBatch, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrService)
+	}
 	batch := make([]any, 0, len(recs))
 	for _, rec := range recs {
 		wire, err := c.perturbWire(rec, rng)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		batch = append(batch, wire)
 	}
 	body, err := json.Marshal(batch)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	resp, err := c.http.Post(c.base+"/v1/submit-batch", "application/json", bytes.NewReader(body))
+	return &PreparedBatch{body: body, n: len(recs)}, nil
+}
+
+// SubmitPrepared transmits a prepared batch.
+func (c *Client) SubmitPrepared(p *PreparedBatch) error {
+	resp, err := c.http.Post(c.base+"/v1/submit-batch", "application/json", bytes.NewReader(p.body))
 	if err != nil {
 		return err
 	}
@@ -264,8 +303,16 @@ func (c *Client) Mine(minsup, minconf float64, limit int) (*MineResponse, error)
 	return &mr, nil
 }
 
+// ErrBusy marks server backpressure: the request was well-formed but
+// the server refused to take on the work right now (a full mine-job
+// queue answering 503). Callers generating load distinguish this from
+// hard failures — backpressure under overload is the server working as
+// designed, not an error in either party.
+var ErrBusy = errors.New("service: server busy")
+
 // SubmitMineJob enqueues an asynchronous mining job and returns its
 // initial (queued) state. Poll with MineJob or block with AwaitMineJob.
+// A full job queue returns an error wrapping ErrBusy.
 func (c *Client) SubmitMineJob(p MineParams) (*JobResponse, error) {
 	body, err := json.Marshal(p)
 	if err != nil {
@@ -276,6 +323,9 @@ func (c *Client) SubmitMineJob(p MineParams) (*JobResponse, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("%w: mine-job submit returned %s", ErrBusy, resp.Status)
+	}
 	if resp.StatusCode != http.StatusAccepted {
 		return nil, fmt.Errorf("%w: mine-job submit returned %s", ErrService, resp.Status)
 	}
