@@ -18,7 +18,9 @@
 //
 // With -target empty the command self-hosts an in-process frapp-server
 // on a loopback listener — the same handler stack CI runs, with no
-// external process to manage.
+// external process to manage. Adding -state DIR gives the self-hosted
+// server a durable store, so the run measures ingestion with the WAL
+// and checkpoint machinery enabled.
 //
 // Exit status: 0 on success, 1 when the -baseline gate finds a
 // regression, 2 on bad configuration or a failed run.
@@ -37,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loadgen"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -112,9 +115,16 @@ func run(args []string) int {
 // selfHost starts an in-process frapp-server matching cfg's contract on
 // a loopback listener, returning its shutdown func and base URL.
 func selfHost(cfg *loadgen.Config, pop *loadgen.Population) (func(), string, error) {
+	opts := []service.Option{service.WithScheme(cfg.Scheme)}
+	if cfg.State != "" {
+		st, err := store.Open(cfg.State)
+		if err != nil {
+			return nil, "", err
+		}
+		opts = append(opts, service.WithStore(st))
+	}
 	srv, err := service.NewServer(pop.Schema,
-		core.PrivacySpec{Rho1: cfg.Rho1, Rho2: cfg.Rho2},
-		service.WithScheme(cfg.Scheme))
+		core.PrivacySpec{Rho1: cfg.Rho1, Rho2: cfg.Rho2}, opts...)
 	if err != nil {
 		return nil, "", err
 	}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Kill-9 crash recovery, end to end: a real frapp-server process (this
+// test binary re-executed into TestCrashServerProcess) ingests records
+// over HTTP, is SIGKILLed with no shutdown path whatsoever, and a fresh
+// boot over the same -state directory must recover every record that
+// was durable — which, after a quiet period longer than the WAL flush
+// interval, is all of them. The cycle runs twice per scheme so recovery
+// of an already-recovered store (checkpoint + WAL + token regeneration)
+// is exercised too.
+//
+// FRAPP_STRESS_SCHEME narrows the scheme matrix to one scheme (the CI
+// stress matrix sets it); unset means all three.
+
+// crashFlushInterval is the child's WAL flush cadence; the parent waits
+// many multiples of it before killing, so every acknowledged record has
+// been flushed (and fsynced — the child runs -wal-sync always).
+const crashFlushInterval = 10 * time.Millisecond
+
+// TestCrashServerProcess is the re-exec helper, not a test: it becomes
+// the server process the driver kills. Skipped unless the driver's env
+// marker is present.
+func TestCrashServerProcess(t *testing.T) {
+	if os.Getenv("FRAPP_CRASH_SERVER") != "1" {
+		t.Skip("re-exec helper")
+	}
+	cfg := serverConfig{
+		addr:   os.Getenv("FRAPP_CRASH_SERVER_ADDR"),
+		schema: "census", scheme: os.Getenv("FRAPP_CRASH_SERVER_SCHEME"),
+		rho1: 0.05, rho2: 0.5,
+		state:           os.Getenv("FRAPP_CRASH_SERVER_STATE"),
+		walFlush:        crashFlushInterval,
+		checkpointEvery: 25, // small, so checkpoints happen mid-run
+		shards:          2, mineWorkers: 1, jobTTL: time.Minute,
+	}
+	// Serves until SIGKILL; there is no graceful path in this process.
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func crashSchemes() []string {
+	if s := os.Getenv("FRAPP_STRESS_SCHEME"); s != "" {
+		return []string{s}
+	}
+	return []string{"gamma", "mask", "cutpaste"}
+}
+
+func TestKillNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	for _, scheme := range crashSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			stateDir := filepath.Join(t.TempDir(), "state")
+			const perCycle = 40
+			total := 0
+			for cycle := 0; cycle < 2; cycle++ {
+				addr := freePort(t)
+				child := exec.Command(os.Args[0], "-test.run", "^TestCrashServerProcess$", "-test.v")
+				child.Env = append(os.Environ(),
+					"FRAPP_CRASH_SERVER=1",
+					"FRAPP_CRASH_SERVER_ADDR="+addr,
+					"FRAPP_CRASH_SERVER_STATE="+stateDir,
+					"FRAPP_CRASH_SERVER_SCHEME="+scheme,
+				)
+				if err := child.Start(); err != nil {
+					t.Fatal(err)
+				}
+				base := "http://" + addr
+				waitUp(t, base)
+				if n := statsRecords(t, base); n != total {
+					child.Process.Kill()
+					child.Wait()
+					t.Fatalf("cycle %d: recovered %d records, want %d", cycle, n, total)
+				}
+				for i := 0; i < perCycle; i++ {
+					submitOne(t, base)
+				}
+				total += perCycle
+				// Quiet period: every acknowledged record crosses a flush
+				// boundary (with margin) before the plug is pulled.
+				time.Sleep(50 * crashFlushInterval)
+				if err := child.Process.Kill(); err != nil { // SIGKILL
+					t.Fatal(err)
+				}
+				child.Wait()
+			}
+
+			// Final boot, in-process: the store must hold exactly every
+			// acknowledged record across both kill cycles.
+			addr := freePort(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				done <- run(ctx, serverConfig{
+					addr: addr, schema: "census", scheme: scheme, rho1: 0.05, rho2: 0.5,
+					state: stateDir, mineWorkers: 1, jobTTL: time.Minute,
+				})
+			}()
+			waitUp(t, "http://"+addr)
+			if n := statsRecords(t, "http://"+addr); n != total {
+				t.Errorf("recovered %d records after kill -9, want %d", n, total)
+			}
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("final server did not shut down")
+			}
+		})
+	}
+}

@@ -8,7 +8,9 @@
 //
 //	frapp-server [-addr :8080] [-schema census|health]
 //	             [-scheme gamma|mask|cutpaste]
-//	             [-rho1 0.05] [-rho2 0.50] [-state state.gob]
+//	             [-rho1 0.05] [-rho2 0.50] [-state statedir]
+//	             [-checkpoint-every 10000] [-wal-sync always|off]
+//	             [-wal-flush 200ms]
 //	             [-shards 0] [-mine-workers 2] [-job-ttl 15m]
 //	             [-query-limit 1024]
 //	             [-peers http://site-a:8080,http://site-b:8080]
@@ -31,11 +33,18 @@
 // from the snapshot-versioned result cache without re-running Apriori.
 // -query-limit caps the filters of one /v1/query batch.
 //
-// With -state, the accumulated (perturbed) counts are restored at start
-// and persisted atomically, exactly once, on SIGINT/SIGTERM, so a
-// restart loses no submissions. The state file contains only perturbed
-// marginal counts — no raw record ever reaches the server in the FRAPP
-// trust model.
+// With -state, the accumulated (perturbed) counts are durable
+// CONTINUOUSLY, not just at shutdown: -state names a directory holding
+// compacted checkpoints plus a write-ahead log of counter deltas. A
+// background flusher appends batched deltas every -wal-flush (fsynced
+// per -wal-sync), a fresh checkpoint is compacted every
+// -checkpoint-every records, and after a crash — kill -9 included — the
+// server restores the newest checkpoint and replays the WAL tail, so at
+// most one flush interval of submissions is at risk instead of
+// everything since startup. A legacy single-file -state path from older
+// releases is migrated into the directory automatically. The state
+// contains only perturbed marginal counts — no raw record ever reaches
+// the server in the FRAPP trust model. See docs/persistence.md.
 //
 // With -peers, the server runs as a federation COORDINATOR: it pulls
 // versioned counter deltas from the listed collector sites every
@@ -64,6 +73,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/federation"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -73,7 +83,10 @@ func main() {
 		scheme       = flag.String("scheme", "gamma", "perturbation scheme: gamma, mask, or cutpaste")
 		rho1         = flag.Float64("rho1", 0.05, "privacy prior bound rho1")
 		rho2         = flag.Float64("rho2", 0.50, "privacy posterior bound rho2")
-		state        = flag.String("state", "", "state file for restart durability (optional)")
+		state        = flag.String("state", "", "state directory for crash durability (optional; legacy state files are migrated)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "records between compacted checkpoints (0 = default 10000)")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always or off")
+		walFlush     = flag.Duration("wal-flush", 0, "WAL flush interval (0 = default 200ms)")
 		shards       = flag.Int("shards", 0, "ingestion shards (0 = one per core)")
 		workers      = flag.Int("mine-workers", 0, "concurrent mining jobs (0 = default 2)")
 		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished mining jobs (0 = default 15m)")
@@ -84,7 +97,8 @@ func main() {
 	flag.Parse()
 	cfg := serverConfig{
 		addr: *addr, schema: *schemaName, scheme: *scheme, rho1: *rho1, rho2: *rho2,
-		state: *state, shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
+		state: *state, checkpointEvery: *ckptEvery, walSync: *walSync, walFlush: *walFlush,
+		shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
 		queryLimit: *queryLimit, peers: *peers, syncInterval: *syncInterval,
 	}
 	// The signal context lives in main so run stays testable: tests
@@ -99,25 +113,27 @@ func main() {
 
 // serverConfig carries the flag set into run.
 type serverConfig struct {
-	addr         string
-	schema       string
-	scheme       string
-	rho1, rho2   float64
-	state        string
-	shards       int
-	mineWorkers  int
-	jobTTL       time.Duration
-	queryLimit   int
-	peers        string
-	syncInterval time.Duration
+	addr            string
+	schema          string
+	scheme          string
+	rho1, rho2      float64
+	state           string
+	checkpointEvery int
+	walSync         string
+	walFlush        time.Duration
+	shards          int
+	mineWorkers     int
+	jobTTL          time.Duration
+	queryLimit      int
+	peers           string
+	syncInterval    time.Duration
 }
 
 // run serves until ctx is canceled (SIGINT/SIGTERM in production), then
-// shuts down gracefully. The -state persist happens on exactly one
-// path: after a graceful shutdown completed. A listen failure returns
-// before it (nothing ingested beyond the restored state is worth the
-// risk of clobbering a good file on a half-started server), and there
-// is no other exit.
+// shuts down gracefully. With -state, durability is continuous — the
+// store's WAL flusher runs for the whole serving window — and a
+// graceful shutdown additionally compacts a final checkpoint; crashes
+// at any other point recover from the store at next start.
 func run(ctx context.Context, cfg serverConfig) error {
 	var sc *dataset.Schema
 	switch cfg.schema {
@@ -145,11 +161,28 @@ func run(ctx context.Context, cfg serverConfig) error {
 		err error
 	)
 	if cfg.state != "" {
-		srv, err = service.NewServerWithState(sc, spec, cfg.state, opts...)
-	} else {
+		syncMode := store.SyncAlways
+		switch cfg.walSync {
+		case "", "always":
+		case "off":
+			syncMode = store.SyncOff
+		default:
+			return fmt.Errorf("bad -wal-sync %q (want always or off)", cfg.walSync)
+		}
+		st, err := store.Open(cfg.state, store.WithSyncMode(syncMode))
+		if err != nil {
+			return err
+		}
+		opts = append(opts,
+			service.WithStore(st),
+			service.WithCheckpointEvery(cfg.checkpointEvery),
+			service.WithWALFlushInterval(cfg.walFlush))
 		srv, err = service.NewServer(sc, spec, opts...)
-	}
-	if err != nil {
+		if err != nil {
+			st.Close()
+			return err
+		}
+	} else if srv, err = service.NewServer(sc, spec, opts...); err != nil {
 		return err
 	}
 	defer srv.Close()
@@ -208,10 +241,12 @@ func run(ctx context.Context, cfg serverConfig) error {
 		}
 	}
 	if cfg.state != "" {
-		if err := srv.PersistStateFile(cfg.state); err != nil {
+		// The WAL already holds everything flushed; the final checkpoint
+		// compacts the shutdown state so the next boot replays nothing.
+		if err := srv.CheckpointNow(); err != nil {
 			return fmt.Errorf("persisting state: %w", err)
 		}
-		log.Printf("frapp-server: state persisted to %s (%d records)", cfg.state, srv.N())
+		log.Printf("frapp-server: state checkpointed to %s (%d records)", cfg.state, srv.N())
 	}
 	return nil
 }

@@ -72,6 +72,71 @@ func waitUp(t *testing.T, base string) {
 	t.Fatalf("server at %s never came up", base)
 }
 
+// submitOne pushes one (nominally perturbed) record through the public
+// API, shaped per the advertised scheme.
+func submitOne(t *testing.T, base string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Scheme struct {
+			Name string `json:"name"`
+		} `json:"scheme"`
+		Attributes []struct {
+			Name       string   `json:"name"`
+			Categories []string `json:"categories"`
+		} `json:"attributes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var body []byte
+	if sr.Scheme.Name == "" || sr.Scheme.Name == "gamma" {
+		rec := map[string]string{}
+		for _, a := range sr.Attributes {
+			rec[a.Name] = a.Categories[0]
+		}
+		body, err = json.Marshal(rec)
+	} else {
+		rec := map[string][]string{}
+		for _, a := range sr.Attributes {
+			rec[a.Name] = []string{a.Categories[0]}
+		}
+		body, err = json.Marshal(rec)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %s", resp.Status)
+	}
+}
+
+// statsRecords reads the record count off /v1/stats.
+func statsRecords(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Records int `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return stats.Records
+}
+
 // TestRunGracefulShutdownPersistsStateOnce is the shutdown-audit
 // regression: on the SIGTERM path (modeled by context cancellation —
 // main wires the real signals to the same context), the accepted
@@ -91,36 +156,7 @@ func TestRunGracefulShutdownPersistsStateOnce(t *testing.T) {
 	waitUp(t, base)
 
 	// Submit one (nominally perturbed) record through the public API.
-	resp, err := http.Get(base + "/v1/schema")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var sr struct {
-		Attributes []struct {
-			Name       string   `json:"name"`
-			Categories []string `json:"categories"`
-		} `json:"attributes"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	rec := map[string]string{}
-	for _, a := range sr.Attributes {
-		rec[a.Name] = a.Categories[0]
-	}
-	body, err := json.Marshal(rec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err = http.Post(base+"/v1/submit", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit returned %s", resp.Status)
-	}
+	submitOne(t, base)
 
 	cancel() // the SIGTERM path
 	select {
@@ -136,13 +172,12 @@ func TestRunGracefulShutdownPersistsStateOnce(t *testing.T) {
 	if err != nil {
 		t.Fatalf("state not persisted: %v", err)
 	}
-	if info.Size() == 0 {
-		t.Fatal("state file empty")
+	if !info.IsDir() {
+		t.Fatal("-state did not become a store directory")
 	}
-	// "Exactly once": the persisted file is the complete, final state —
-	// a restart restores the submission (a second, post-shutdown persist
-	// would have had nothing new to add, and the graceful path has a
-	// single persist site; this guards the restore half).
+	// The persisted store holds the complete final state — a restart
+	// restores the submission (this guards the restore half of the
+	// graceful path).
 	addr2 := freePort(t)
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	done2 := make(chan error, 1)
@@ -154,19 +189,8 @@ func TestRunGracefulShutdownPersistsStateOnce(t *testing.T) {
 	}()
 	base2 := "http://" + addr2
 	waitUp(t, base2)
-	resp, err = http.Get(base2 + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var stats struct {
-		Records int `json:"records"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if stats.Records != 1 {
-		t.Fatalf("restored server has %d records, want 1", stats.Records)
+	if n := statsRecords(t, base2); n != 1 {
+		t.Fatalf("restored server has %d records, want 1", n)
 	}
 	cancel2()
 	select {
@@ -176,25 +200,63 @@ func TestRunGracefulShutdownPersistsStateOnce(t *testing.T) {
 	}
 }
 
-// TestRunListenFailureDoesNotPersist: a server that never managed to
-// listen must not rewrite the state file (shutdown-audit finding: the
-// persist lives on the graceful path only).
-func TestRunListenFailureDoesNotPersist(t *testing.T) {
+// TestRunListenFailureKeepsStoredState: a server that never managed to
+// listen must not lose or clobber the records the store already holds
+// (the directory-store successor of the shutdown-audit finding that a
+// half-started server must not rewrite good state).
+func TestRunListenFailureKeepsStoredState(t *testing.T) {
+	stateDir := filepath.Join(t.TempDir(), "state")
+
+	// Seed the store with one record via a successful run.
+	addr := freePort(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, serverConfig{
+			addr: addr, schema: "census", rho1: 0.05, rho2: 0.5,
+			state: stateDir, mineWorkers: 1, jobTTL: time.Minute,
+		})
+	}()
+	waitUp(t, "http://"+addr)
+	submitOne(t, "http://"+addr)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// A boot that fails to listen must leave the store intact.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer l.Close() // occupy the port so run's listen fails
-	statePath := filepath.Join(t.TempDir(), "state.gob")
 	cfg := serverConfig{
 		addr: l.Addr().String(), schema: "census", rho1: 0.05, rho2: 0.5,
-		state: statePath, mineWorkers: 1, jobTTL: time.Minute,
+		state: stateDir, mineWorkers: 1, jobTTL: time.Minute,
 	}
 	if err := run(context.Background(), cfg); err == nil {
 		t.Fatal("run succeeded on an occupied port")
 	}
-	if _, err := os.Stat(statePath); err == nil {
-		t.Fatal("state persisted despite listen failure")
+
+	// The stored record is still there.
+	addr2 := freePort(t)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run(ctx2, serverConfig{
+			addr: addr2, schema: "census", rho1: 0.05, rho2: 0.5,
+			state: stateDir, mineWorkers: 1, jobTTL: time.Minute,
+		})
+	}()
+	waitUp(t, "http://"+addr2)
+	if n := statsRecords(t, "http://"+addr2); n != 1 {
+		t.Fatalf("store holds %d records after failed boot, want 1", n)
+	}
+	cancel2()
+	select {
+	case <-done2:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }
 

@@ -97,6 +97,11 @@ type Config struct {
 	Seed int64
 	// Skew is the Zipf exponent of category frequencies.
 	Skew float64
+	// State is a durable-store directory for the self-hosted server
+	// ("" = in-memory only). Ignored when Target is set: the remote
+	// server owns its own durability. Lets the perf gate measure the
+	// handler stack with the WAL enabled.
+	State string
 	// Out is the BENCH_load.json path ("" = don't write).
 	Out string
 	// Baseline is the committed baseline report to gate against
@@ -127,6 +132,7 @@ func newFlagSet(cfg *Config, mix *string) *flag.FlagSet {
 	fs.IntVar(&cfg.Population, "population", 100000, "synthetic population size")
 	fs.Int64Var(&cfg.Seed, "seed", 2005, "seed for population, perturbation, and arrival schedule")
 	fs.Float64Var(&cfg.Skew, "zipf-skew", 1.1, "Zipf exponent of category frequencies")
+	fs.StringVar(&cfg.State, "state", "", "durable state directory for the self-hosted server (empty = in-memory; ignored with -target)")
 	fs.StringVar(&cfg.Out, "out", "BENCH_load.json", "machine-readable report path (empty = don't write)")
 	fs.StringVar(&cfg.Baseline, "baseline", "", "baseline report to gate p99/throughput against (empty = no gate)")
 	fs.Float64Var(&cfg.P99Tol, "p99-tol", 4.0, "allowed p99 latency growth factor vs baseline")

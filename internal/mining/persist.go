@@ -2,12 +2,21 @@ package mining
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
+
+// ErrCorruptState marks a state payload that could not be decoded at
+// all — truncated, zero-byte, or garbage bytes — as opposed to a valid
+// payload saved under an incompatible scheme, schema, or version.
+// Callers holding the file name should wrap this with the path and the
+// operator's recovery options (restore a backup, or remove the file to
+// start empty) instead of surfacing raw gob internals.
+var ErrCorruptState = fmt.Errorf("%w: corrupt counter state", ErrMining)
 
 // counterState is the serialized form of a counter. The schema itself is
 // NOT serialized — the loader supplies it (through the scheme contract)
@@ -156,7 +165,10 @@ func (c *ShardedCounter) save(w io.Writer) error {
 func decodeState(r io.Reader) (*counterState, error) {
 	var st counterState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("%w: decoding counter state: %v", ErrMining, err)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: state ends prematurely (zero-byte file or truncated write): %v", ErrCorruptState, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
 	}
 	switch st.Version {
 	case counterStateVersion:

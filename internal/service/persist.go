@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/mining"
+	"repro/internal/store"
 )
 
 // SaveState serializes the server's accumulated (perturbed) counts.
@@ -27,8 +28,12 @@ func (s *Server) SaveState(w io.Writer) error {
 // rejected, never merged; the shard count is the live server's, not the
 // file's, so state survives -shards changes across restarts. The swap
 // resets the snapshot-version line, so every cached mining result is
-// invalidated.
+// invalidated. Rejected on a store-backed server, whose durable state
+// the store alone manages.
 func (s *Server) LoadState(r io.Reader) error {
+	if s.store != nil {
+		return errStoreBacked
+	}
 	counter, err := mining.LoadLiveCounter(r, s.scheme, s.Shards())
 	if err != nil {
 		return err
@@ -42,8 +47,10 @@ func (s *Server) LoadState(r io.Reader) error {
 	return nil
 }
 
-// PersistStateFile writes the state atomically (temp file + rename) so a
-// crash mid-write can never corrupt the previous state.
+// PersistStateFile writes the state atomically AND durably: the temp
+// file is fsynced before the rename, and the parent directory after it
+// — without the directory fsync a power loss can roll the rename back
+// even though the file's own bytes reached disk.
 func (s *Server) PersistStateFile(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".frapp-state-*")
@@ -51,23 +58,50 @@ func (s *Server) PersistStateFile(path string) error {
 		return err
 	}
 	tmpName := tmp.Name()
-	if err := s.SaveState(tmp); err != nil {
+	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
+	}
+	if err := s.SaveState(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
-	return os.Rename(tmpName, path)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return store.SyncDir(dir)
+}
+
+// sweepStateTemps removes orphaned .frapp-state-* temp files next to a
+// state file — the residue of a PersistStateFile that crashed between
+// create and rename. Best-effort: sweep failures never block startup.
+func sweepStateTemps(path string) {
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), ".frapp-state-*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
+	}
 }
 
 // NewServerWithState builds a server, restoring state from path when the
 // file exists. A missing file is not an error — the server starts empty.
-// On a failed restore the already-started mining worker pool is shut
-// down before returning, so retry loops don't leak goroutines.
+// Stale temp files from interrupted persists are swept first. On a
+// failed restore the already-started mining worker pool is shut down
+// before returning, so retry loops don't leak goroutines; an undecodable
+// file is reported with the path and the operator's options, not raw
+// decoder internals.
 func NewServerWithState(schema *dataset.Schema, spec core.PrivacySpec, path string, opts ...Option) (*Server, error) {
+	sweepStateTemps(path)
 	srv, err := NewServer(schema, spec, opts...)
 	if err != nil {
 		return nil, err
@@ -83,6 +117,9 @@ func NewServerWithState(schema *dataset.Schema, spec core.PrivacySpec, path stri
 	defer f.Close()
 	if err := srv.LoadState(f); err != nil {
 		srv.Close()
+		if errors.Is(err, mining.ErrCorruptState) {
+			return nil, fmt.Errorf("state file %s is unreadable (restore it from a backup, or delete it to start empty): %w", path, err)
+		}
 		return nil, fmt.Errorf("restoring state from %s: %w", path, err)
 	}
 	return srv, nil

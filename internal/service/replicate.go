@@ -80,6 +80,11 @@ func (s *Server) ReplaceCounter(c mining.LiveCounter, vector map[string]uint64) 
 	if c == nil {
 		return fmt.Errorf("%w: nil counter", ErrService)
 	}
+	if s.store != nil {
+		// The store's WAL chains off the counter object it was attached
+		// to; swapping the object would silently stop persisting.
+		return errStoreBacked
+	}
 	if c.Fingerprint() != s.scheme.Fingerprint() {
 		return fmt.Errorf("%w: counter does not match this server's scheme, schema, and perturbation contract", ErrService)
 	}
@@ -97,6 +102,11 @@ func (s *Server) ReplaceCounter(c mining.LiveCounter, vector map[string]uint64) 
 func (s *Server) EnableFederation(coord *federation.Coordinator) error {
 	if coord == nil {
 		return fmt.Errorf("%w: nil coordinator", ErrService)
+	}
+	if s.store != nil {
+		// A coordinator republishes merged counters through
+		// ReplaceCounter, which a store-backed server must refuse.
+		return errStoreBacked
 	}
 	if !s.fed.CompareAndSwap(nil, coord) {
 		return fmt.Errorf("%w: federation already enabled", ErrService)

@@ -18,6 +18,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/federation"
 	"repro/internal/mining"
+	"repro/internal/store"
 )
 
 // ErrService is returned for invalid service configuration or requests.
@@ -77,6 +79,17 @@ type Server struct {
 	// the sync loop, and direct submissions are refused. Atomic because
 	// EnableFederation may legally race in-flight request handlers.
 	fed atomic.Pointer[federation.Coordinator]
+	// store, when set, is the durable persistence backend (see store.go):
+	// the counter was recovered from it at construction, a background
+	// flusher appends deltas to its WAL, and checkpointEvery records
+	// trigger compaction. storeMu serializes all store I/O (the flusher
+	// loop and explicit FlushWAL/CheckpointNow calls).
+	store           store.StateStore
+	storeMu         sync.Mutex
+	checkpointEvery int
+	persistStop     chan struct{}
+	persistDone     chan struct{}
+	closeOnce       sync.Once
 }
 
 // counterRef pairs a counter with the cache generation it belongs to
@@ -93,11 +106,14 @@ type counterRef struct {
 type Option func(*serverConfig)
 
 type serverConfig struct {
-	scheme      string
-	shards      int
-	mineWorkers int
-	jobTTL      time.Duration
-	queryLimit  int
+	scheme          string
+	shards          int
+	mineWorkers     int
+	jobTTL          time.Duration
+	queryLimit      int
+	store           store.StateStore
+	checkpointEvery int
+	walFlush        time.Duration
 }
 
 // WithScheme selects the perturbation scheme the server counts under:
@@ -148,9 +164,27 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if err != nil {
 		return nil, err
 	}
-	counter, err := mining.NewShardedCounter(scheme, cfg.shards)
-	if err != nil {
-		return nil, err
+	// A store-backed server starts from its durable state — newest
+	// checkpoint plus replayed WAL tail — instead of empty, and the
+	// recovered counter carries its pre-crash replication identity so
+	// federation pullers resume incrementally.
+	var counter *mining.ShardedCounter
+	if cfg.store != nil {
+		counter, err = cfg.store.Recover(scheme, cfg.shards)
+		if err != nil {
+			return nil, fmt.Errorf("recovering durable state: %w", err)
+		}
+	}
+	if counter == nil {
+		counter, err = mining.NewShardedCounter(scheme, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.store != nil {
+		if err := cfg.store.Attach(counter); err != nil {
+			return nil, fmt.Errorf("attaching durable store: %w", err)
+		}
 	}
 	if cfg.queryLimit <= 0 {
 		cfg.queryLimit = defaultQueryLimit
@@ -161,11 +195,39 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	}
 	s.counter.Store(&counterRef{counter: counter})
 	s.jobs = newJobStore(cfg.mineWorkers, cfg.jobTTL, s.executeMine)
+	if cfg.store != nil {
+		s.store = cfg.store
+		s.checkpointEvery = cfg.checkpointEvery
+		if s.checkpointEvery <= 0 {
+			s.checkpointEvery = defaultCheckpointEvery
+		}
+		if cfg.walFlush <= 0 {
+			cfg.walFlush = defaultWALFlushInterval
+		}
+		s.persistStop = make(chan struct{})
+		s.persistDone = make(chan struct{})
+		go s.persistLoop(cfg.walFlush)
+	}
 	return s, nil
 }
 
-// Close stops the mining worker pool, failing any still-queued jobs.
-func (s *Server) Close() { s.jobs.close() }
+// Close stops the mining worker pool, failing any still-queued jobs. On
+// a store-backed server it also stops the flusher, appends the pending
+// WAL tail (best-effort — call FlushWAL or CheckpointNow first for
+// error visibility), and closes the store. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.store != nil {
+			close(s.persistStop)
+			<-s.persistDone
+			s.storeMu.Lock()
+			_ = s.store.Append()
+			_ = s.store.Close()
+			s.storeMu.Unlock()
+		}
+		s.jobs.close()
+	})
+}
 
 // ctr returns the live counter.
 func (s *Server) ctr() mining.LiveCounter { return s.counter.Load().counter }
