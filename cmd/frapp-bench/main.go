@@ -26,18 +26,23 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiment"
 	"repro/internal/mining"
+	"repro/internal/service"
 )
 
 // benchRecord is one measurement in the -json report.
@@ -440,7 +445,91 @@ func liveBench(cfg experiment.Config, gamma float64, rec *recorder) error {
 		rec.schemeRecord("live_ingest", name, "ns_per_record", ingestNs, "ns", ingestNs)
 		rec.schemeRecord("live_mine", name, "wall_time", float64(mine.Nanoseconds()), "ns", float64(mine.Nanoseconds()))
 		rec.schemeRecord("live_query_batch32", name, "wall_time", float64(query.Nanoseconds()), "ns", float64(query.Nanoseconds()))
+
+		if err := liveBatchIngest(name, cfg, db, rec); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// liveBatchIngest measures the batched submit-batch ingest path end to
+// end through the HTTP handler stack — decode + IngestBatch + response
+// — for both wire forms, on one scheme. Requests are driven straight
+// into the handler (no socket) so the numbers isolate the server-side
+// cost: records/sec and heap allocations per record, the two figures
+// the binary form exists to improve.
+func liveBatchIngest(name string, cfg experiment.Config, db *dataset.Database, rec *recorder) error {
+	srv, err := service.NewServer(db.Schema, cfg.Privacy, service.WithScheme(name))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := service.NewClient(ts.URL, service.WithHTTPClient(ts.Client()))
+	if err != nil {
+		return err
+	}
+	handler := srv.Handler()
+	const batchSize = 256
+	rates := map[string]float64{}
+	for _, wire := range []string{service.WireJSON, service.WireBinary} {
+		var batches []*service.PreparedBatch
+		for lo := 0; lo < len(db.Records); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(db.Records) {
+				hi = len(db.Records)
+			}
+			p, err := client.PrepareBatchWire(db.Records[lo:hi], rand.New(rand.NewSource(cfg.Seed+int64(lo))), wire)
+			if err != nil {
+				return err
+			}
+			batches = append(batches, p)
+		}
+		// One warm pass primes the decode pool and the counter, so the
+		// measured pass sees steady state.
+		serve := func() (int, error) {
+			total := 0
+			for _, p := range batches {
+				req := httptest.NewRequest(http.MethodPost, "/v1/submit-batch", bytes.NewReader(p.Body()))
+				req.Header.Set("Content-Type", p.ContentType())
+				if fp := p.Fingerprint(); fp != "" {
+					req.Header.Set(service.FingerprintHeader, fp)
+				}
+				w := httptest.NewRecorder()
+				handler.ServeHTTP(w, req)
+				if w.Code != http.StatusAccepted {
+					return 0, fmt.Errorf("live batch ingest (%s, %s): status %d: %s", name, wire, w.Code, w.Body.String())
+				}
+				total += p.Len()
+			}
+			return total, nil
+		}
+		if _, err := serve(); err != nil {
+			return err
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		total, err := serve()
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		allocsPerRec := float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+		rps := float64(total) / elapsed.Seconds()
+		nsPerRec := float64(elapsed.Nanoseconds()) / float64(total)
+		rates[wire] = rps
+		fmt.Printf("%-9s batch-ingest[%-6s] %9.0f rec/s (%6.0f ns/rec, %5.1f allocs/rec)\n",
+			name, wire, rps, nsPerRec, allocsPerRec)
+		exp := "live_batch_ingest_" + wire
+		rec.schemeRecord(exp, name, "records_per_sec", rps, "rec/s", nsPerRec)
+		rec.schemeRecord(exp, name, "allocs_per_record", allocsPerRec, "allocs", 0)
+	}
+	fmt.Printf("%-9s batch-ingest speedup binary/json: %.1fx\n", name, rates[service.WireBinary]/rates[service.WireJSON])
 	return nil
 }
 

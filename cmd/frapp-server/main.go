@@ -12,7 +12,7 @@
 //	             [-checkpoint-every 10000] [-wal-sync always|off]
 //	             [-wal-flush 200ms]
 //	             [-shards 0] [-mine-workers 2] [-job-ttl 15m]
-//	             [-query-limit 1024]
+//	             [-query-limit 1024] [-max-body 8388608]
 //	             [-peers http://site-a:8080,http://site-b:8080]
 //	             [-sync-interval 5s]
 //
@@ -31,7 +31,14 @@
 // sync /v1/mine alike) execute concurrently, and -job-ttl controls how
 // long finished jobs stay pollable; unchanged collections are served
 // from the snapshot-versioned result cache without re-running Apriori.
-// -query-limit caps the filters of one /v1/query batch.
+// -query-limit caps the filters of one /v1/query batch, and -max-body
+// caps the request body of every decoding POST endpoint (413 beyond).
+//
+// POST /v1/submit-batch additionally accepts a compact binary wire
+// form (Content-Type application/x-frapp-batch with the scheme
+// fingerprint in X-Frapp-Fingerprint) that ingests an order of
+// magnitude faster than JSON; batches apply atomically in either form.
+// See docs/http-api.md.
 //
 // With -state, the accumulated (perturbed) counts are durable
 // CONTINUOUSLY, not just at shutdown: -state names a directory holding
@@ -91,6 +98,7 @@ func main() {
 		workers      = flag.Int("mine-workers", 0, "concurrent mining jobs (0 = default 2)")
 		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished mining jobs (0 = default 15m)")
 		queryLimit   = flag.Int("query-limit", 0, "max filters per /v1/query batch (0 = default 1024)")
+		maxBody      = flag.Int64("max-body", 0, "max request body bytes on POST endpoints, 413 beyond (0 = default 8MiB)")
 		peers        = flag.String("peers", "", "comma-separated collector base URLs; run as federation coordinator")
 		syncInterval = flag.Duration("sync-interval", 0, "federation pull interval (0 = default 5s)")
 	)
@@ -99,7 +107,7 @@ func main() {
 		addr: *addr, schema: *schemaName, scheme: *scheme, rho1: *rho1, rho2: *rho2,
 		state: *state, checkpointEvery: *ckptEvery, walSync: *walSync, walFlush: *walFlush,
 		shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
-		queryLimit: *queryLimit, peers: *peers, syncInterval: *syncInterval,
+		queryLimit: *queryLimit, maxBody: *maxBody, peers: *peers, syncInterval: *syncInterval,
 	}
 	// The signal context lives in main so run stays testable: tests
 	// drive the same graceful-shutdown path by canceling the context.
@@ -125,6 +133,7 @@ type serverConfig struct {
 	mineWorkers     int
 	jobTTL          time.Duration
 	queryLimit      int
+	maxBody         int64
 	peers           string
 	syncInterval    time.Duration
 }
@@ -154,6 +163,7 @@ func run(ctx context.Context, cfg serverConfig) error {
 		service.WithMineWorkers(cfg.mineWorkers),
 		service.WithJobTTL(cfg.jobTTL),
 		service.WithQueryLimit(cfg.queryLimit),
+		service.WithMaxBody(cfg.maxBody),
 	}
 
 	var (

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mining"
+	"repro/internal/service"
 )
 
 // ErrConfig is returned for invalid harness configuration; every parse
@@ -87,6 +88,9 @@ type Config struct {
 	Batch int
 	// QueryBatch is filters per query operation.
 	QueryBatch int
+	// Wire is the submit-batch wire form: "json" (default, also "") or
+	// "binary" (the compact index encoding with pooled server decode).
+	Wire string
 	// Mix is the class weight ratio.
 	Mix Mix
 	// Population is the synthetic population size (records prepared and
@@ -128,6 +132,7 @@ func newFlagSet(cfg *Config, mix *string) *flag.FlagSet {
 	fs.Float64Var(&cfg.Rate, "rate", 2000, "offered operation rate, ops/sec across all classes")
 	fs.IntVar(&cfg.Batch, "batch", 128, "records per submit-batch operation")
 	fs.IntVar(&cfg.QueryBatch, "query-batch", 16, "filters per query operation")
+	fs.StringVar(&cfg.Wire, "wire", service.WireJSON, "submit-batch wire form: json or binary")
 	fs.StringVar(mix, "mix", "90:9:1", "traffic mix submit:query:mine weight ratio")
 	fs.IntVar(&cfg.Population, "population", 100000, "synthetic population size")
 	fs.Int64Var(&cfg.Seed, "seed", 2005, "seed for population, perturbation, and arrival schedule")
@@ -199,6 +204,13 @@ func (c *Config) Validate() error {
 	}
 	if c.QueryBatch < 1 || c.QueryBatch > 1<<16 {
 		return fmt.Errorf("%w: query-batch %d out of [1, 65536]", ErrConfig, c.QueryBatch)
+	}
+	switch c.Wire {
+	case "":
+		c.Wire = service.WireJSON
+	case service.WireJSON, service.WireBinary:
+	default:
+		return fmt.Errorf("%w: unknown wire form %q (want %q or %q)", ErrConfig, c.Wire, service.WireJSON, service.WireBinary)
 	}
 	w := c.Mix.weights()
 	var total float64

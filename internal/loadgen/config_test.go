@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/service"
 )
 
 func TestParseArgsDefaults(t *testing.T) {
@@ -23,6 +25,34 @@ func TestParseArgsDefaults(t *testing.T) {
 	}
 	if cfg.Out != "BENCH_load.json" {
 		t.Fatalf("default out %q", cfg.Out)
+	}
+	if cfg.Wire != service.WireJSON {
+		t.Fatalf("default wire %q", cfg.Wire)
+	}
+}
+
+func TestParseArgsWire(t *testing.T) {
+	cfg, err := ParseArgs([]string{"-wire", "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Wire != service.WireBinary {
+		t.Fatalf("wire %q", cfg.Wire)
+	}
+	// An empty -wire normalizes to JSON, so zero-valued Config literals
+	// (tests, embedders) keep their pre-flag behavior.
+	empty := Config{}
+	empty.Schema, empty.Scheme = "census", "gamma"
+	empty.Duration, empty.Workers, empty.Rate = time.Second, 1, 1
+	empty.Batch, empty.QueryBatch, empty.Population = 1, 1, 1
+	empty.Mix = Mix{Submit: 1}
+	empty.Rho1, empty.Rho2 = 0.05, 0.5
+	empty.P99Tol, empty.RateTol = 1, 1
+	if err := empty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Wire != service.WireJSON {
+		t.Fatalf("empty wire normalized to %q", empty.Wire)
 	}
 }
 
@@ -68,6 +98,7 @@ func TestParseArgsRejects(t *testing.T) {
 		{"-p99-tol", "0.5"},
 		{"-rate-tol", "0"},
 		{"-rate-tol", "2"},
+		{"-wire", "carrier-pigeon"},
 		{"-no-such-flag"},
 		{"positional"},
 	} {
@@ -104,7 +135,7 @@ func TestUsageListsEveryFlag(t *testing.T) {
 		"-target", "-schema", "-scheme", "-rho1", "-rho2", "-duration",
 		"-workers", "-rate", "-batch", "-query-batch", "-mix",
 		"-population", "-seed", "-zipf-skew", "-out", "-baseline",
-		"-p99-tol", "-rate-tol",
+		"-p99-tol", "-rate-tol", "-wire",
 	} {
 		if !strings.Contains(u, flag) {
 			t.Errorf("usage text missing %s", flag)

@@ -169,7 +169,7 @@ func PrepareBatches(cfg *Config, pop *Population, client *service.Client) ([]*se
 					hi = len(recs)
 				}
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))
-				p, err := client.PrepareBatch(recs[lo:hi], rng)
+				p, err := client.PrepareBatchWire(recs[lo:hi], rng, cfg.Wire)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, &err)
 					return

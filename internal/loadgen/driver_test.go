@@ -227,6 +227,36 @@ func TestRunOpenLoop(t *testing.T) {
 	}
 }
 
+// TestRunBinaryWire: a short open-loop run over the binary wire form
+// completes with zero hard failures and counts every submitted record
+// on the server — the fast path is a drop-in for the JSON default.
+func TestRunBinaryWire(t *testing.T) {
+	cfg := testConfig()
+	cfg.Wire = service.WireBinary
+	ts := startLoadServer(t, cfg)
+	cfg.Target = ts.URL
+	pop, err := BuildPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(context.Background(), cfg, pop, WithRunHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rec.OK(ClassSubmit) == 0 {
+		t.Fatal("no successful submits")
+	}
+	if stats.Rec.Failed(ClassSubmit) > 0 {
+		t.Fatalf("hard submit failures: %d", stats.Rec.Failed(ClassSubmit))
+	}
+	if uint64(stats.ServerRecords) < stats.Rec.Records() {
+		t.Fatalf("server records %d < client-counted %d", stats.ServerRecords, stats.Rec.Records())
+	}
+	if rpt := BuildReport(cfg, stats); rpt.Config.Wire != service.WireBinary {
+		t.Fatalf("report wire %q", rpt.Config.Wire)
+	}
+}
+
 func TestRunCancel(t *testing.T) {
 	cfg := testConfig()
 	cfg.Duration = 30 * time.Second

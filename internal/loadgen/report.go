@@ -38,6 +38,7 @@ type ReportConfig struct {
 	Rate       float64 `json:"rate_ops_per_sec"`
 	Batch      int     `json:"batch"`
 	QueryBatch int     `json:"query_batch"`
+	Wire       string  `json:"wire,omitempty"`
 	Mix        string  `json:"mix"`
 	Population int     `json:"population"`
 	Seed       int64   `json:"seed"`
@@ -70,6 +71,7 @@ func BuildReport(cfg *Config, stats *RunStats) *Report {
 			DurationNs: cfg.Duration.Nanoseconds(),
 			Workers:    cfg.Workers, Rate: cfg.Rate,
 			Batch: cfg.Batch, QueryBatch: cfg.QueryBatch,
+			Wire:       cfg.Wire,
 			Mix:        cfg.Mix.String(),
 			Population: cfg.Population, Seed: cfg.Seed, Skew: cfg.Skew,
 		},

@@ -95,6 +95,49 @@ func (c *boolCore) Ingest(items []Item) error {
 	return nil
 }
 
+// boolPrepared is a validated batch of perturbed rows, one bitset per
+// record — a single slice allocation per batch.
+type boolPrepared struct {
+	rows []uint64
+}
+
+func (p boolPrepared) recordCount() int { return len(p.rows) }
+
+// prepareIngest validates each item-list record (items in range, no
+// duplicates) and packs it into its row bitset without touching counter
+// state.
+func (c *boolCore) prepareIngest(records [][]Item) (preparedIngest, error) {
+	m := c.est.mapping()
+	rows := make([]uint64, len(records))
+	for i, items := range records {
+		var row uint64
+		for _, it := range items {
+			b, err := m.Bit(it.Attr, it.Value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: record %d: %v", ErrMining, i, err)
+			}
+			if row&(1<<uint(b)) != 0 {
+				return nil, fmt.Errorf("%w: record %d: duplicate item (attr %d, value %d) in perturbed record", ErrMining, i, it.Attr, it.Value)
+			}
+			row |= 1 << uint(b)
+		}
+		rows[i] = row
+	}
+	return boolPrepared{rows: rows}, nil
+}
+
+// ingestPrepared folds rows [lo, hi) of a prepared batch into the joint
+// histogram under one lock acquisition.
+func (c *boolCore) ingestPrepared(p preparedIngest, lo, hi int) {
+	rows := p.(boolPrepared).rows[lo:hi]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, row := range rows {
+		c.rows[row]++
+	}
+	c.n += len(rows)
+}
+
 // Supports returns scheme-reconstructed support estimates.
 func (c *boolCore) Supports(candidates []Itemset) ([]float64, error) {
 	b, err := c.prepare(candidates)

@@ -45,6 +45,73 @@ func (c *MaterializedGammaCounter) Ingest(items []Item) error {
 	return c.Add(rec)
 }
 
+// gammaPrepared is a validated batch of dense categorical records. One
+// backing array holds every record, so preparation costs two slice
+// allocations per batch regardless of batch size.
+type gammaPrepared struct {
+	recs []dataset.Record
+}
+
+func (p gammaPrepared) recordCount() int { return len(p.recs) }
+
+// prepareIngest validates each item-list record against the gamma
+// contract (exactly one in-range item per attribute, no duplicates) and
+// converts it to its dense record form. No counter state is read or
+// written — errors leave every shard untouched.
+func (c *MaterializedGammaCounter) prepareIngest(records [][]Item) (preparedIngest, error) {
+	m := c.schema.M()
+	recs := make([]dataset.Record, len(records))
+	backing := make([]int, len(records)*m)
+	for i, items := range records {
+		if len(items) != m {
+			return nil, fmt.Errorf("%w: record %d: gamma record carries %d items, schema has %d attributes", ErrMining, i, len(items), m)
+		}
+		rec := backing[i*m : (i+1)*m : (i+1)*m]
+		for j := range rec {
+			rec[j] = -1
+		}
+		for _, it := range items {
+			if it.Attr < 0 || it.Attr >= m {
+				return nil, fmt.Errorf("%w: record %d: attribute %d out of range", ErrMining, i, it.Attr)
+			}
+			if rec[it.Attr] != -1 {
+				return nil, fmt.Errorf("%w: record %d: duplicate attribute %d in gamma record", ErrMining, i, it.Attr)
+			}
+			if it.Value < 0 || it.Value >= c.schema.Attrs[it.Attr].Cardinality() {
+				return nil, fmt.Errorf("%w: record %d: value %d out of range for attribute %q", ErrMining, i, it.Value, c.schema.Attrs[it.Attr].Name)
+			}
+			rec[it.Attr] = it.Value
+		}
+		recs[i] = rec
+	}
+	return gammaPrepared{recs: recs}, nil
+}
+
+// ingestPrepared folds records [lo, hi) of a prepared batch into every
+// subset histogram under one lock acquisition. The loop runs mask-major
+// so each histogram (and its column list) stays hot across the whole
+// span — the cache behavior per-record Add cannot have.
+func (c *MaterializedGammaCounter) ingestPrepared(p preparedIngest, lo, hi int) {
+	recs := p.(gammaPrepared).recs[lo:hi]
+	cards := make([]int, c.schema.M())
+	for j := range cards {
+		cards[j] = c.schema.Attrs[j].Cardinality()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for mask := 1; mask < len(c.hists); mask++ {
+		cols, hist := c.cols[mask], c.hists[mask]
+		for _, rec := range recs {
+			idx := 0
+			for _, j := range cols {
+				idx = idx*cards[j] + rec[j]
+			}
+			hist[idx]++
+		}
+	}
+	c.n += len(recs)
+}
+
 // Merge additively combines another gamma core into this one. Because
 // every subset histogram is a per-record sum, merging per-site counters
 // reproduces the counters of the union of their submissions exactly.

@@ -69,6 +69,12 @@ type LiveCounter interface {
 	// boolean scheme accepts any set of distinct items (perturbed boolean
 	// records assert arbitrary item subsets).
 	Ingest(items []Item) error
+	// IngestBatch adds many already-perturbed records atomically: every
+	// record is validated before any shard is touched, so a batch either
+	// lands whole or leaves the counter untouched — and each shard's
+	// partition is applied under a single lock acquisition, which is what
+	// makes batched ingest the fast path (see ShardedCounter).
+	IngestBatch(records [][]Item) error
 	// Add is the categorical convenience over Ingest: one item per
 	// attribute, valid under every scheme.
 	Add(rec dataset.Record) error
@@ -136,6 +142,19 @@ type CounterCore interface {
 	// ApplyDelta folds a replication delta into the core.
 	ApplyDelta(d *CounterDelta) error
 
+	// prepareIngest validates a batch of item-list records against the
+	// scheme's contract and converts them into the scheme's compact
+	// apply form WITHOUT touching counter state. Validation depends only
+	// on the scheme (identical across shards of one counter), so one
+	// prepared batch can be partitioned across shards. Errors name the
+	// offending record index; a non-nil result is fully valid.
+	prepareIngest(records [][]Item) (preparedIngest, error)
+	// ingestPrepared applies records [lo, hi) of a prepared batch under
+	// ONE lock acquisition. The records were pre-validated by
+	// prepareIngest, so application cannot fail — the primitive that
+	// makes batched ingest all-or-nothing by construction.
+	ingestPrepared(p preparedIngest, lo, hi int)
+
 	// prepare validates and routes a candidate batch; gather folds this
 	// core's contribution into it under the core's lock. Shard reads are
 	// built on this pair: prepare once, gather per shard, resolve from
@@ -156,6 +175,15 @@ type CounterCore interface {
 	restoreShard(sh shardState) error
 	checkState(st *counterState) error
 	stateMeta(version int) counterState
+}
+
+// preparedIngest is a validated, scheme-specific batch of records ready
+// for lock-held application: gamma cores prepare dense categorical
+// records, boolean cores prepare row bitsets. Preparation allocates a
+// constant number of slices per batch (never per record), which is what
+// keeps the service's pooled decode path at O(1) allocations per batch.
+type preparedIngest interface {
+	recordCount() int
 }
 
 // counterBatch is a prepared candidate batch: validated and routed by a

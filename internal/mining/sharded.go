@@ -162,6 +162,58 @@ func (c *ShardedCounter) Ingest(items []Item) error {
 	return nil
 }
 
+// IngestBatch adds a batch of (already perturbed) records atomically.
+// Every record is validated and converted to the scheme's apply form
+// FIRST — before any shard is touched — so a malformed record rejects
+// the whole batch with the counter provably unchanged (the service
+// layer's batch-atomicity guarantee is this method, not handler
+// bookkeeping). The validated batch is then partitioned across shards,
+// continuing the round-robin assignment of single-record Ingest, and
+// each partition is applied under a single lock acquisition of its
+// shard: a B-record batch over S shards costs min(B, S) lock
+// round-trips instead of B.
+//
+// total and version advance by the batch size only after every
+// partition has landed. A snapshot taken mid-application may already
+// include some of the batch's records — each record is still atomic
+// within its shard, so the snapshot remains a consistent view that is
+// strictly newer than its version, exactly the SnapshotVersioned
+// contract.
+func (c *ShardedCounter) IngestBatch(records [][]Item) error {
+	n := len(records)
+	if n == 0 {
+		return nil
+	}
+	prep, err := c.shards[0].prepareIngest(records)
+	if err != nil {
+		return err
+	}
+	// Continue the round-robin cursor by n so batch and single-record
+	// traffic interleave without skewing the shard balance: the batch
+	// owns positions [start, start+n), and shard i receives exactly the
+	// records round-robin would have routed to it, as one contiguous
+	// span of the prepared batch.
+	shards := uint64(len(c.shards))
+	start := c.next.Add(uint64(n)) - uint64(n)
+	base, extra := n/int(shards), n%int(shards)
+	lo := 0
+	for k := 0; k < int(shards) && lo < n; k++ {
+		cnt := base
+		if k < extra {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		shard := (start + uint64(k)) % shards
+		c.shards[shard].ingestPrepared(prep, lo, lo+cnt)
+		lo += cnt
+	}
+	c.total.Add(int64(n))
+	c.version.Add(uint64(n))
+	return nil
+}
+
 // Add ingests one perturbed categorical record — the item-per-attribute
 // convenience over Ingest, valid for every scheme (a full categorical
 // record is a legal perturbed record under each).

@@ -40,6 +40,10 @@ type Client struct {
 	perturber core.Perturber
 	mask      *core.MaskScheme
 	cutpaste  *core.CutPasteScheme
+	// fingerprint is the scheme compatibility fingerprint computed
+	// LOCALLY from the verified contract — sent with binary batches so
+	// the server can prove both sides count under the same parameters.
+	fingerprint string
 }
 
 // ClientOption configures a Client.
@@ -76,7 +80,7 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: fetching schema: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%w: schema fetch returned %s", ErrService, resp.Status)
 	}
@@ -129,6 +133,7 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.fingerprint = mining.CompatibilityFingerprint(schema, matrix)
 	case mining.SchemeMask:
 		bm, err := core.NewBoolMapping(schema)
 		if err != nil {
@@ -145,6 +150,11 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 				ErrService, sr.Scheme.MaskP, amp, gamma)
 		}
 		c.mask = mask
+		ms, err := mining.NewMaskCounterScheme(mask)
+		if err != nil {
+			return nil, err
+		}
+		c.fingerprint = ms.Fingerprint()
 	case mining.SchemeCutPaste:
 		bm, err := core.NewBoolMapping(schema)
 		if err != nil {
@@ -159,6 +169,11 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 				ErrService, sr.Scheme.CutK, sr.Scheme.CutRho, amp, gamma)
 		}
 		c.cutpaste = cp
+		cs, err := mining.NewCutPasteCounterScheme(cp)
+		if err != nil {
+			return nil, err
+		}
+		c.fingerprint = cs.Fingerprint()
 	default:
 		return nil, fmt.Errorf("%w: server runs unsupported scheme %q", ErrService, schemeName)
 	}
@@ -167,6 +182,10 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 
 // Scheme returns the negotiated perturbation scheme.
 func (c *Client) Scheme() string { return c.scheme }
+
+// Fingerprint returns the scheme compatibility fingerprint the client
+// derived from the verified contract.
+func (c *Client) Fingerprint() string { return c.fingerprint }
 
 // Schema returns the schema fetched from the server.
 func (c *Client) Schema() *dataset.Schema { return c.schema }
@@ -198,6 +217,48 @@ func (c *Client) perturbWire(rec dataset.Record, rng *rand.Rand) (any, error) {
 		}
 		return c.encodeBoolRecord(c.cutpaste.Mapping, row), nil
 	}
+}
+
+// perturbItems perturbs one record under the negotiated scheme and
+// returns it as the (attr, value) index list of the binary wire form.
+func (c *Client) perturbItems(rec dataset.Record, rng *rand.Rand) ([]mining.Item, error) {
+	switch {
+	case c.perturber != nil:
+		perturbed, err := c.perturber.Perturb(rec, rng)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]mining.Item, len(perturbed))
+		for j, v := range perturbed {
+			items[j] = mining.Item{Attr: j, Value: v}
+		}
+		return items, nil
+	case c.mask != nil:
+		row, err := c.mask.PerturbRecord(rec, rng)
+		if err != nil {
+			return nil, err
+		}
+		return c.rowItems(c.mask.Mapping, row), nil
+	default:
+		row, err := c.cutpaste.PerturbRecord(rec, rng)
+		if err != nil {
+			return nil, err
+		}
+		return c.rowItems(c.cutpaste.Mapping, row), nil
+	}
+}
+
+// rowItems unpacks a perturbed boolean row into (attr, value) items.
+func (c *Client) rowItems(m *core.BoolMapping, row uint64) []mining.Item {
+	var items []mining.Item
+	for j, a := range c.schema.Attrs {
+		for v := 0; v < a.Cardinality(); v++ {
+			if row&(1<<uint(m.Offsets[j]+v)) != 0 {
+				items = append(items, mining.Item{Attr: j, Value: v})
+			}
+		}
+	}
+	return items
 }
 
 // Submit perturbs rec locally and sends only the distorted record.
@@ -240,6 +301,10 @@ func (c *Client) SubmitBatch(recs []dataset.Record, rng *rand.Rand) error {
 type PreparedBatch struct {
 	body []byte
 	n    int
+	// contentType and fingerprint carry the wire negotiation: the body's
+	// media type and, for binary bodies, the scheme fingerprint header.
+	contentType string
+	fingerprint string
 }
 
 // Len returns the number of records in the prepared batch.
@@ -248,32 +313,84 @@ func (p *PreparedBatch) Len() int { return p.n }
 // WireSize returns the encoded body size in bytes.
 func (p *PreparedBatch) WireSize() int { return len(p.body) }
 
+// Body returns the encoded wire body. Callers must treat it as
+// read-only — the same bytes back every prepared transmission.
+func (p *PreparedBatch) Body() []byte { return p.body }
+
+// ContentType returns the media type the body must be posted under.
+func (p *PreparedBatch) ContentType() string { return p.contentType }
+
+// Fingerprint returns the scheme fingerprint a binary submission
+// carries in the FingerprintHeader ("" for JSON bodies).
+func (p *PreparedBatch) Fingerprint() string { return p.fingerprint }
+
+// Wire names for PrepareBatchWire and the load harness's -wire flag.
+const (
+	WireJSON   = "json"
+	WireBinary = "binary"
+)
+
 // PrepareBatch perturbs recs under the negotiated scheme and encodes
-// the result as one reusable submit-batch body. The perturbation is
-// drawn now, from rng — submitting the same prepared batch twice sends
-// the same perturbed records twice.
+// the result as one reusable JSON submit-batch body. The perturbation
+// is drawn now, from rng — submitting the same prepared batch twice
+// sends the same perturbed records twice.
 func (c *Client) PrepareBatch(recs []dataset.Record, rng *rand.Rand) (*PreparedBatch, error) {
+	return c.PrepareBatchWire(recs, rng, WireJSON)
+}
+
+// PrepareBatchWire is PrepareBatch with an explicit wire form: "json"
+// (or "") for the self-describing category-name encoding, "binary" for
+// the compact index encoding the server's pooled fast path decodes.
+func (c *Client) PrepareBatchWire(recs []dataset.Record, rng *rand.Rand, wire string) (*PreparedBatch, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrService)
 	}
-	batch := make([]any, 0, len(recs))
-	for _, rec := range recs {
-		wire, err := c.perturbWire(rec, rng)
+	switch wire {
+	case WireJSON, "":
+		batch := make([]any, 0, len(recs))
+		for _, rec := range recs {
+			w, err := c.perturbWire(rec, rng)
+			if err != nil {
+				return nil, err
+			}
+			batch = append(batch, w)
+		}
+		body, err := json.Marshal(batch)
 		if err != nil {
 			return nil, err
 		}
-		batch = append(batch, wire)
+		return &PreparedBatch{body: body, n: len(recs), contentType: BatchContentTypeJSON}, nil
+	case WireBinary:
+		records := make([][]mining.Item, len(recs))
+		for i, rec := range recs {
+			items, err := c.perturbItems(rec, rng)
+			if err != nil {
+				return nil, err
+			}
+			records[i] = items
+		}
+		return &PreparedBatch{
+			body:        appendBinaryBatch(nil, records),
+			n:           len(recs),
+			contentType: BatchContentTypeBinary,
+			fingerprint: c.fingerprint,
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown wire form %q (want %q or %q)", ErrService, wire, WireJSON, WireBinary)
 	}
-	body, err := json.Marshal(batch)
-	if err != nil {
-		return nil, err
-	}
-	return &PreparedBatch{body: body, n: len(recs)}, nil
 }
 
 // SubmitPrepared transmits a prepared batch.
 func (c *Client) SubmitPrepared(p *PreparedBatch) error {
-	resp, err := c.http.Post(c.base+"/v1/submit-batch", "application/json", bytes.NewReader(p.body))
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/submit-batch", bytes.NewReader(p.body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", p.contentType)
+	if p.fingerprint != "" {
+		req.Header.Set(FingerprintHeader, p.fingerprint)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
@@ -292,7 +409,7 @@ func (c *Client) Mine(minsup, minconf float64, limit int) (*MineResponse, error)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%w: mine returned %s", ErrService, resp.Status)
 	}
@@ -322,7 +439,7 @@ func (c *Client) SubmitMineJob(p MineParams) (*JobResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drain(resp.Body)
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		return nil, fmt.Errorf("%w: mine-job submit returned %s", ErrBusy, resp.Status)
 	}
@@ -342,7 +459,7 @@ func (c *Client) MineJob(id string) (*JobResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%w: mine-job %s returned %s", ErrService, id, resp.Status)
 	}
@@ -359,7 +476,7 @@ func (c *Client) MineJobs() ([]JobResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%w: mine-job list returned %s", ErrService, resp.Status)
 	}
@@ -429,7 +546,7 @@ func (c *Client) QueryAll(filters []QueryFilter) (*QueryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%w: query returned %s", ErrService, resp.Status)
 	}
@@ -495,7 +612,7 @@ func (c *Client) Stats() (*StatsResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%w: stats returned %s", ErrService, resp.Status)
 	}

@@ -145,11 +145,12 @@ func (s *Server) attrIndex(name string) int {
 // none — and never snapshots: the counter sweep inside CountAll merges
 // only the histograms the batch needs, one shard lock at a time.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var qr QueryRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&qr); err != nil && !errors.Is(err, io.EOF) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+		httpBodyError(w, err, "bad JSON")
 		return
 	}
 	if len(qr.Filters) == 0 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; the
+// detector's own bookkeeping allocates, so strict allocation-count
+// assertions are meaningless under it.
+const raceEnabled = true

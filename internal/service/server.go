@@ -74,6 +74,9 @@ type Server struct {
 	jobs    *jobStore
 	// queryLimit caps the filters of one /v1/query batch (see query.go).
 	queryLimit int
+	// maxBody caps the request body of every JSON/binary POST endpoint
+	// via http.MaxBytesReader; oversized submissions answer 413.
+	maxBody int64
 	// fed, when set, marks this server as a federation coordinator (see
 	// replicate.go): its counter is the merged global view published by
 	// the sync loop, and direct submissions are refused. Atomic because
@@ -111,6 +114,7 @@ type serverConfig struct {
 	mineWorkers     int
 	jobTTL          time.Duration
 	queryLimit      int
+	maxBody         int64
 	store           store.StateStore
 	checkpointEvery int
 	walFlush        time.Duration
@@ -130,6 +134,19 @@ func WithScheme(name string) Option {
 // default) mean runtime.GOMAXPROCS(0) — one stripe per core.
 func WithShards(n int) Option {
 	return func(c *serverConfig) { c.shards = n }
+}
+
+// defaultMaxBody is the default request-body cap: generous for real
+// batches (a 10k-record binary batch over a wide schema is well under
+// 1 MiB) while bounding what one request can make the server buffer.
+const defaultMaxBody = 8 << 20
+
+// WithMaxBody caps the request body size in bytes for every POST
+// endpoint that decodes one (/v1/submit, /v1/submit-batch, /v1/query,
+// /v1/mine-jobs). Oversized requests answer 413. Values <= 0 (and the
+// default) mean 8 MiB.
+func WithMaxBody(n int64) Option {
+	return func(c *serverConfig) { c.maxBody = n }
 }
 
 // WithMineWorkers bounds the number of concurrently executing mining
@@ -189,7 +206,10 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if cfg.queryLimit <= 0 {
 		cfg.queryLimit = defaultQueryLimit
 	}
-	s := &Server{schema: schema, spec: spec, gamma: gamma, scheme: scheme, queryLimit: cfg.queryLimit}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = defaultMaxBody
+	}
+	s := &Server{schema: schema, spec: spec, gamma: gamma, scheme: scheme, queryLimit: cfg.queryLimit, maxBody: cfg.maxBody}
 	if g, ok := scheme.(*mining.GammaScheme); ok {
 		s.matrix = g.Matrix()
 	}
@@ -474,9 +494,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusForbidden, errFederated)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var raw json.RawMessage
 	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+		httpBodyError(w, err, "bad JSON")
 		return
 	}
 	ingest, err := s.decodeSubmission(raw)
@@ -491,35 +512,96 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.N()})
 }
 
+// handleSubmitBatch ingests a batch of perturbed records atomically —
+// all records or none, whichever wire form. Both paths decode the
+// whole batch into item lists and hand them to the counter's
+// IngestBatch, which validates every record before touching any shard:
+// the atomicity guarantee is the counter's, not handler bookkeeping,
+// so a record the decoder accepts but the counter rejects can no
+// longer leave earlier records of the batch applied.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	if s.Federated() {
 		httpError(w, http.StatusForbidden, errFederated)
 		return
 	}
-	var batch []json.RawMessage
-	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if mediaType(r.Header.Get("Content-Type")) == BatchContentTypeBinary {
+		s.handleSubmitBatchBinary(w, r)
 		return
 	}
-	// Decode the whole batch before ingesting any of it, so a malformed
-	// record rejects the submission without a partial ingest.
-	records := make([]func(mining.LiveCounter) error, 0, len(batch))
+	var batch []json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		httpBodyError(w, err, "bad JSON")
+		return
+	}
+	records := make([][]mining.Item, len(batch))
 	for i, raw := range batch {
-		ingest, err := s.decodeSubmission(raw)
+		items, err := s.decodeSubmissionItems(raw)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: %w", i, err))
 			return
 		}
-		records = append(records, ingest)
+		records[i] = items
 	}
-	counter := s.ctr()
-	for _, ingest := range records {
-		if err := ingest(counter); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
+	if err := s.ctr().IngestBatch(records); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.N()})
+}
+
+// handleSubmitBatchBinary is the binary fast path: fingerprint check,
+// pooled zero-copy decode, one IngestBatch. The fingerprint header is
+// mandatory here (unlike JSON, whose category names are self-checking
+// against the schema): binary records are bare indexes, and indexes
+// perturbed under a different contract would count silently wrong.
+func (s *Server) handleSubmitBatchBinary(w http.ResponseWriter, r *http.Request) {
+	fp := r.Header.Get(FingerprintHeader)
+	if fp == "" {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: binary batch without %s header", ErrService, FingerprintHeader))
+		return
+	}
+	if want := s.scheme.Fingerprint(); fp != want {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: scheme fingerprint %q does not match the server contract %q", ErrService, fp, want))
+		return
+	}
+	scratch := batchPool.Get().(*batchScratch)
+	defer scratch.release()
+	records, err := scratch.decode(r.Body)
+	if err != nil {
+		httpBodyError(w, err, "bad binary batch")
+		return
+	}
+	if err := s.ctr().IngestBatch(records); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"records": s.N()})
+}
+
+// decodeSubmissionItems converts one JSON wire submission into the
+// item list IngestBatch consumes: gamma submissions (complete records)
+// become one item per attribute, boolean submissions decode through
+// the duplicate-rejecting attribute walk.
+func (s *Server) decodeSubmissionItems(raw json.RawMessage) ([]mining.Item, error) {
+	if s.scheme.Name() == mining.SchemeGamma {
+		var rj RecordJSON
+		if err := json.Unmarshal(raw, &rj); err != nil {
+			return nil, fmt.Errorf("%w: bad JSON: %v", ErrService, err)
+		}
+		rec, err := s.decodeRecord(rj)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]mining.Item, len(rec))
+		for j, v := range rec {
+			items[j] = mining.Item{Attr: j, Value: v}
+		}
+		return items, nil
+	}
+	return s.decodeBoolSubmission(raw)
 }
 
 // StatsResponse summarizes the collection state.
@@ -695,10 +777,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 // handleSubmitJob enqueues an asynchronous mining job. The body is an
 // optional JSON MineParams object; an empty body means defaults.
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var p MineParams
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&p); err != nil && !errors.Is(err, io.EOF) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad JSON: %v", ErrService, err))
+		httpBodyError(w, err, "bad JSON")
 		return
 	}
 	// In the JSON API an absent field decodes to zero, so zero values
