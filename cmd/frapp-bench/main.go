@@ -7,6 +7,7 @@
 //	frapp-bench [-exp all|table1|table2|table3|fig1|fig2|fig3|fig4|params|live]
 //	            [-quick] [-census-n N] [-health-n N] [-seed S]
 //	            [-minsup F] [-steps K] [-json results.json]
+//	            [-ops-addr 127.0.0.1:9091]
 //
 // -exp live benchmarks the LIVE counter stack (the collection service's
 // substrate) across every perturbation scheme — gamma, MASK, and
@@ -43,6 +44,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/mining"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // benchRecord is one measurement in the -json report.
@@ -136,8 +138,19 @@ func main() {
 		steps    = flag.Int("steps", 11, "number of alpha sweep steps for fig3")
 		trials   = flag.Int("trials", 1, "if > 1, average fig1/fig2 over this many perturbation trials (mean±std)")
 		jsonPath = flag.String("json", "", "write a machine-readable run report to this path")
+		opsAddr  = flag.String("ops-addr", "", "serve pprof/metrics/health on this address during the run (empty = off; bind localhost in production)")
 	)
 	flag.Parse()
+
+	if *opsAddr != "" {
+		ops, err := telemetry.ServeOps(*opsAddr, telemetry.OpsHandler(telemetry.NewRegistry(), nil))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frapp-bench:", err)
+			os.Exit(1)
+		}
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "ops listener (pprof, /metrics) on http://%s\n", ops.Addr)
+	}
 
 	cfg := experiment.DefaultConfig()
 	if *quick {

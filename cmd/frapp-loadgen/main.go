@@ -8,6 +8,7 @@
 //	              [-duration 30s] [-workers 256] [-rate 2000]
 //	              [-mix 90:9:1] [-population 100000] [-seed S]
 //	              [-out BENCH_load.json] [-baseline bench_baseline.json]
+//	              [-ops-target URL] [-metrics-out load_metrics.txt]
 //
 // The harness synthesizes a seeded Zipf-skewed population with
 // correlated attribute profiles, perturbs and encodes it off the
@@ -21,6 +22,13 @@
 // external process to manage. Adding -state DIR gives the self-hosted
 // server a durable store, so the run measures ingestion with the WAL
 // and checkpoint machinery enabled.
+//
+// After the run the harness scrapes the target's ops listener
+// (-ops-target, or the self-hosted server's built-in loopback ops
+// listener) and folds the server-observed latency quantiles into the
+// report next to the client-observed ones; an unparseable scrape or a
+// missing declared metric family fails the run. -metrics-out saves the
+// raw scrape for CI artifacts.
 //
 // Exit status: 0 on success, 1 when the -baseline gate finds a
 // regression, 2 on bad configuration or a failed run.
@@ -40,6 +48,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -65,14 +74,17 @@ func run(args []string) int {
 	}
 
 	if cfg.Target == "" {
-		shutdown, url, err := selfHost(cfg, pop)
+		shutdown, url, opsURL, err := selfHost(cfg, pop)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "frapp-loadgen: self-host: %v\n", err)
 			return 2
 		}
 		defer shutdown()
 		cfg.Target = url
-		fmt.Fprintf(os.Stderr, "self-hosting frapp-server at %s (scheme %s)\n", url, cfg.Scheme)
+		if cfg.OpsTarget == "" {
+			cfg.OpsTarget = opsURL
+		}
+		fmt.Fprintf(os.Stderr, "self-hosting frapp-server at %s (scheme %s, ops %s)\n", url, cfg.Scheme, opsURL)
 	}
 
 	fmt.Fprintf(os.Stderr, "driving %s open-loop: %g ops/s, %d workers, mix %s\n",
@@ -84,6 +96,27 @@ func run(args []string) int {
 	}
 
 	rpt := loadgen.BuildReport(cfg, stats)
+
+	// The scrape runs before the report is written and before the gate:
+	// a broken exporter (unparseable text, missing declared family) is a
+	// run failure, and the server-side quantiles land in the report next
+	// to the client-observed ones.
+	if cfg.OpsTarget != "" {
+		raw, expo, err := loadgen.ScrapeOps(cfg.OpsTarget)
+		if cfg.MetricsOut != "" && len(raw) > 0 {
+			if werr := os.WriteFile(cfg.MetricsOut, raw, 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "frapp-loadgen: write metrics: %v\n", werr)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "metrics scrape written to %s\n", cfg.MetricsOut)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "frapp-loadgen: %v\n", err)
+			return 2
+		}
+		loadgen.AddServerMetrics(rpt, expo)
+	}
+
 	fmt.Print(rpt.Summary())
 	if cfg.Out != "" {
 		if err := rpt.Write(cfg.Out); err != nil {
@@ -113,25 +146,35 @@ func run(args []string) int {
 }
 
 // selfHost starts an in-process frapp-server matching cfg's contract on
-// a loopback listener, returning its shutdown func and base URL.
-func selfHost(cfg *loadgen.Config, pop *loadgen.Population) (func(), string, error) {
-	opts := []service.Option{service.WithScheme(cfg.Scheme)}
+// a loopback listener — instrumented, with a loopback ops listener of
+// its own — returning its shutdown func, base URL, and ops URL. The
+// built-in ops listener means the -ops-target scrape gate exercises the
+// same /metrics path CI scrapes, with no external process to manage.
+func selfHost(cfg *loadgen.Config, pop *loadgen.Population) (func(), string, string, error) {
+	reg := telemetry.NewRegistry()
+	opts := []service.Option{service.WithScheme(cfg.Scheme), service.WithTelemetry(reg)}
 	if cfg.State != "" {
 		st, err := store.Open(cfg.State)
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
 		opts = append(opts, service.WithStore(st))
 	}
 	srv, err := service.NewServer(pop.Schema,
 		core.PrivacySpec{Rho1: cfg.Rho1, Rho2: cfg.Rho2}, opts...)
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
+	}
+	ops, err := telemetry.ServeOps("127.0.0.1:0", telemetry.OpsHandler(reg, nil))
+	if err != nil {
+		srv.Close()
+		return nil, "", "", err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		ops.Close()
 		srv.Close()
-		return nil, "", err
+		return nil, "", "", err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
@@ -139,7 +182,8 @@ func selfHost(cfg *loadgen.Config, pop *loadgen.Population) (func(), string, err
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
+		_ = ops.Close()
 		srv.Close()
 	}
-	return shutdown, "http://" + ln.Addr().String(), nil
+	return shutdown, "http://" + ln.Addr().String(), "http://" + ops.Addr, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/loadgen"
+	"repro/internal/telemetry"
 )
 
 // shortArgs is a fast self-hosted run small enough for a unit test.
@@ -81,6 +82,56 @@ func TestRunGate(t *testing.T) {
 	// A missing baseline file is a config error, not a regression.
 	if code := run(shortArgs("-out", "", "-baseline", filepath.Join(dir, "absent.json"))); code != 2 {
 		t.Fatalf("absent baseline exit %d, want 2", code)
+	}
+}
+
+func TestRunScrapesOpsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_load.json")
+	metrics := filepath.Join(dir, "load_metrics.txt")
+	if code := run(shortArgs("-out", out, "-metrics-out", metrics)); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+
+	rpt, err := loadgen.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clientP99, serverP99 bool
+	for _, rec := range rpt.Results {
+		if rec.Experiment == "load_submit" {
+			switch rec.Metric {
+			case "p99_ns":
+				clientP99 = true
+			case "server_p99_ns":
+				if rec.Value <= 0 {
+					t.Fatalf("server_p99_ns = %v, want > 0", rec.Value)
+				}
+				serverP99 = true
+			}
+		}
+	}
+	if !clientP99 || !serverP99 {
+		t.Fatalf("report has client p99=%v server p99=%v, want both", clientP99, serverP99)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := telemetry.ParseExposition(raw)
+	if err != nil {
+		t.Fatalf("saved scrape unparseable: %v", err)
+	}
+	if missing := expo.CheckFamilies(loadgen.RequiredFamilies); len(missing) > 0 {
+		t.Fatalf("saved scrape missing families %v", missing)
+	}
+}
+
+func TestRunBadOpsTargetExits2(t *testing.T) {
+	// An explicit but unreachable ops target must fail the run.
+	if code := run(shortArgs("-out", "", "-ops-target", "http://127.0.0.1:1")); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }
 

@@ -6,11 +6,15 @@
 //
 //	frapp-mine -schema census|health -in data.csv [-minsup 0.02]
 //	           [-mode exact|gamma] [-rho1 0.05] [-rho2 0.50]
-//	           [-rules 0.6] [-top 20]
+//	           [-rules 0.6] [-top 20] [-ops-addr 127.0.0.1:9091]
 //
 // In -mode gamma the input is assumed to be DET-GD/RAN-GD-perturbed with
 // the matrix implied by (rho1, rho2); supports are reconstructed per pass
 // exactly as the paper's miner does.
+//
+// -ops-addr binds an operational sidecar listener (net/http/pprof,
+// /metrics, /healthz) for profiling long mining runs; bind it to
+// localhost (see docs/observability.md).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/mining"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +39,18 @@ func main() {
 		rules      = flag.Float64("rules", 0, "if > 0, also generate association rules at this confidence")
 		top        = flag.Int("top", 20, "how many itemsets/rules to print per section")
 		condensed  = flag.Bool("condensed", false, "also report maximal and closed itemset counts")
+		opsAddr    = flag.String("ops-addr", "", "serve pprof/metrics/health on this address while mining (empty = off; bind localhost in production)")
 	)
 	flag.Parse()
+	if *opsAddr != "" {
+		ops, err := telemetry.ServeOps(*opsAddr, telemetry.OpsHandler(telemetry.NewRegistry(), nil))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frapp-mine:", err)
+			os.Exit(1)
+		}
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "ops listener (pprof, /metrics) on http://%s\n", ops.Addr)
+	}
 	if err := run(*schemaName, *in, *minsup, *mode, *rho1, *rho2, *rules, *top, *condensed); err != nil {
 		fmt.Fprintln(os.Stderr, "frapp-mine:", err)
 		os.Exit(1)

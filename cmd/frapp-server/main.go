@@ -15,6 +15,15 @@
 //	             [-query-limit 1024] [-max-body 8388608]
 //	             [-peers http://site-a:8080,http://site-b:8080]
 //	             [-sync-interval 5s]
+//	             [-ops-addr 127.0.0.1:9090] [-access-log] [-log-level info]
+//
+// -ops-addr (default off) binds a SEPARATE operational listener serving
+// GET /metrics (Prometheus text exposition), GET /healthz, GET /readyz
+// (503 until recovery and the initial federation sync finish), and the
+// standard net/http/pprof endpoints. It exposes only aggregate
+// operational data, but bind it to localhost in production anyway — see
+// docs/observability.md for the metric catalog. -access-log emits one
+// structured JSON line per API request to stderr at -log-level.
 //
 // -scheme selects the perturbation scheme the whole stack runs under:
 // gamma (default — the paper's optimal gamma-diagonal matrix), mask, or
@@ -73,6 +82,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -81,6 +91,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -101,6 +112,9 @@ func main() {
 		maxBody      = flag.Int64("max-body", 0, "max request body bytes on POST endpoints, 413 beyond (0 = default 8MiB)")
 		peers        = flag.String("peers", "", "comma-separated collector base URLs; run as federation coordinator")
 		syncInterval = flag.Duration("sync-interval", 0, "federation pull interval (0 = default 5s)")
+		opsAddr      = flag.String("ops-addr", "", "ops listener address for /metrics, /healthz, /readyz, and pprof (empty = off; bind localhost in production)")
+		accessLog    = flag.Bool("access-log", false, "emit one structured JSON line per request to stderr")
+		logLevel     = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	cfg := serverConfig{
@@ -108,6 +122,7 @@ func main() {
 		state: *state, checkpointEvery: *ckptEvery, walSync: *walSync, walFlush: *walFlush,
 		shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
 		queryLimit: *queryLimit, maxBody: *maxBody, peers: *peers, syncInterval: *syncInterval,
+		opsAddr: *opsAddr, accessLog: *accessLog, logLevel: *logLevel,
 	}
 	// The signal context lives in main so run stays testable: tests
 	// drive the same graceful-shutdown path by canceling the context.
@@ -136,6 +151,9 @@ type serverConfig struct {
 	maxBody         int64
 	peers           string
 	syncInterval    time.Duration
+	opsAddr         string
+	accessLog       bool
+	logLevel        string
 }
 
 // run serves until ctx is canceled (SIGINT/SIGTERM in production), then
@@ -157,6 +175,30 @@ func run(ctx context.Context, cfg serverConfig) error {
 		return errors.New("-state cannot be combined with -peers: a coordinator's counter is rebuilt from its peers, which own the durable state")
 	}
 	spec := core.PrivacySpec{Rho1: cfg.rho1, Rho2: cfg.rho2}
+
+	// Telemetry is always collected (the instruments are allocation-free
+	// on the hot path); -ops-addr controls whether anything serves it.
+	// The ops listener is bound BEFORE recovery so /readyz answers 503
+	// during a long WAL replay instead of refusing connections.
+	reg := telemetry.NewRegistry()
+	var recovered, warm atomic.Bool
+	if cfg.opsAddr != "" {
+		ready := func() error {
+			if !recovered.Load() {
+				return errors.New("state recovery in progress")
+			}
+			if !warm.Load() {
+				return errors.New("initial federation sync not finished")
+			}
+			return nil
+		}
+		ops, err := telemetry.ServeOps(cfg.opsAddr, telemetry.OpsHandler(reg, ready))
+		if err != nil {
+			return err
+		}
+		defer ops.Close()
+		log.Printf("frapp-server: ops endpoints (metrics, healthz, readyz, pprof) on %s", ops.Addr)
+	}
 	opts := []service.Option{
 		service.WithScheme(cfg.scheme),
 		service.WithShards(cfg.shards),
@@ -164,6 +206,14 @@ func run(ctx context.Context, cfg serverConfig) error {
 		service.WithJobTTL(cfg.jobTTL),
 		service.WithQueryLimit(cfg.queryLimit),
 		service.WithMaxBody(cfg.maxBody),
+		service.WithTelemetry(reg),
+	}
+	if cfg.accessLog {
+		lvl, err := telemetry.ParseLevel(cfg.logLevel)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, service.WithAccessLog(telemetry.NewLogger(os.Stderr, lvl)))
 	}
 
 	var (
@@ -196,15 +246,20 @@ func run(ctx context.Context, cfg serverConfig) error {
 		return err
 	}
 	defer srv.Close()
+	recovered.Store(true)
 
 	var coord *federation.Coordinator
-	if cfg.peers != "" {
+	if cfg.peers == "" {
+		warm.Store(true)
+	} else {
 		// The coordinator is built over the server's OWN scheme contract
 		// (not a re-derived one), so its compatibility fingerprint can
 		// never drift from what ReplaceCounter will accept — and a peer
 		// running a different scheme is rejected, never merged.
 		coord, err = federation.NewCoordinator(srv.CounterScheme(), strings.Split(cfg.peers, ","),
-			srv.ReplaceCounter, federation.WithSyncInterval(cfg.syncInterval))
+			srv.ReplaceCounter,
+			federation.WithSyncInterval(cfg.syncInterval),
+			federation.WithMetrics(reg))
 		if err != nil {
 			return err
 		}
@@ -212,10 +267,13 @@ func run(ctx context.Context, cfg serverConfig) error {
 			return err
 		}
 		// Warm first view; per-peer failures are logged, not fatal — the
-		// background loop keeps retrying with backoff.
+		// background loop keeps retrying with backoff. /readyz flips to
+		// ready once the warm pass completes (degraded peers show up in
+		// the federation health metrics, not as permanent unreadiness).
 		if err := coord.SyncAll(ctx); err != nil {
 			log.Printf("frapp-server: initial federation sync: %v", err)
 		}
+		warm.Store(true)
 		coord.Start()
 		log.Printf("frapp-server: federation coordinator over %d peers, sync interval %s",
 			len(coord.Peers()), coord.SyncInterval())

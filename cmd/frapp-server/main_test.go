@@ -5,12 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -412,5 +415,67 @@ func TestRunSchemeFlag(t *testing.T) {
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunOpsEndpoints: -ops-addr serves metrics, health, readiness, and
+// pprof on a listener separate from the data plane, and the scrape must
+// parse and carry the core instrument families.
+func TestRunOpsEndpoints(t *testing.T) {
+	addr, opsAddr := freePort(t), freePort(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, serverConfig{
+			addr: addr, schema: "census", rho1: 0.05, rho2: 0.5,
+			mineWorkers: 1, jobTTL: time.Minute, opsAddr: opsAddr,
+		})
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+	waitUp(t, "http://"+addr)
+	submitOne(t, "http://"+addr)
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + opsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("readyz = %d, want 200 (no peers, recovery done)", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", code)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	expo, err := telemetry.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("scrape unparseable: %v", err)
+	}
+	for _, fam := range []string{
+		"frapp_http_requests_total",
+		"frapp_http_request_duration_seconds",
+		"frapp_ingest_records_total",
+		"frapp_jobs_queue_depth",
+		"frapp_uptime_seconds",
+	} {
+		if _, ok := expo.Types[fam]; !ok {
+			t.Errorf("scrape missing family %s", fam)
+		}
 	}
 }

@@ -10,6 +10,19 @@ import (
 	"repro/internal/mining"
 )
 
+// countingReader counts bytes as they pass through — the wire-size
+// probe for the per-peer delta-bytes counter.
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
 // httpReplicate is the production ReplicateFunc: one GET against the
 // peer's /v1/replicate endpoint, gob-decoded.
 func (co *Coordinator) httpReplicate(ctx context.Context, base string, since, gen uint64) (*mining.CounterDelta, error) {
@@ -22,16 +35,26 @@ func (co *Coordinator) httpReplicate(ctx context.Context, base string, since, ge
 	if err != nil {
 		return nil, fmt.Errorf("federation: pulling %s: %w", base, err)
 	}
+	body := &countingReader{r: resp.Body}
 	defer func() {
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		// Drain whatever the decoder left unread so the transport can
+		// return the connection to the keep-alive pool: a partially read
+		// body forces the connection closed, and a sync loop that leaks
+		// one connection per pull re-handshakes against every peer on
+		// every pass. The delta payload is already bounded by
+		// MaxDeltaWireBytes server-side, so the drain is bounded too.
+		_, _ = io.Copy(io.Discard, body)
 		_ = resp.Body.Close()
+		if pm := co.pmet[base]; pm != nil {
+			pm.deltaBytes.Add(body.n)
+		}
 	}()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("%w: replicate returned %s: %s", ErrFederation, resp.Status, body)
+		msg, _ := io.ReadAll(io.LimitReader(body, 512))
+		return nil, fmt.Errorf("%w: replicate returned %s: %s", ErrFederation, resp.Status, msg)
 	}
 	var d mining.CounterDelta
-	if err := gob.NewDecoder(io.LimitReader(resp.Body, mining.MaxDeltaWireBytes)).Decode(&d); err != nil {
+	if err := gob.NewDecoder(io.LimitReader(body, mining.MaxDeltaWireBytes)).Decode(&d); err != nil {
 		return nil, fmt.Errorf("%w: bad replicate payload: %v", ErrFederation, err)
 	}
 	return &d, nil

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/mining"
+	"repro/internal/telemetry"
 )
 
 // ErrFederation is returned for invalid federation configuration or
@@ -72,6 +73,7 @@ type config struct {
 	timeout    time.Duration
 	maxBackoff time.Duration
 	client     *http.Client
+	metrics    *telemetry.Registry
 }
 
 // WithSyncInterval sets the per-peer pull interval (default 5s). Each
@@ -201,6 +203,9 @@ type Coordinator struct {
 	replicate   ReplicateFunc
 	peers       []*peer
 	cfg         config
+	// pmet maps peer URL → inline-updated replication instruments; nil
+	// (and empty) without WithMetrics.
+	pmet map[string]*peerMetrics
 
 	// pubMu serializes merge+publish so counters publish in order.
 	pubMu            sync.Mutex
@@ -271,6 +276,9 @@ func NewCoordinator(scheme mining.CounterScheme, peerURLs []string,
 		seen[base] = true
 		co.peers = append(co.peers, &peer{url: base})
 	}
+	if cfg.metrics != nil {
+		co.registerMetrics(cfg.metrics)
+	}
 	return co, nil
 }
 
@@ -330,9 +338,10 @@ func (co *Coordinator) peerLoop(p *peer) {
 	}
 }
 
-// nextDelay computes the next tick for a peer: the base interval,
-// doubled per consecutive failure up to the cap, jittered ±10%.
-func (co *Coordinator) nextDelay(p *peer) time.Duration {
+// baseDelay is the un-jittered tick for a peer: the base interval,
+// doubled per consecutive failure up to the cap. Also sampled by the
+// backoff-state gauge.
+func (co *Coordinator) baseDelay(p *peer) time.Duration {
 	p.mu.Lock()
 	failures := p.failures
 	p.mu.Unlock()
@@ -343,8 +352,13 @@ func (co *Coordinator) nextDelay(p *peer) time.Duration {
 	if d > co.cfg.maxBackoff {
 		d = co.cfg.maxBackoff
 	}
+	return d
+}
+
+// nextDelay computes the next tick for a peer: baseDelay jittered ±10%.
+func (co *Coordinator) nextDelay(p *peer) time.Duration {
 	jitter := 1 + jitterFraction*(2*rand.Float64()-1)
-	return time.Duration(float64(d) * jitter)
+	return time.Duration(float64(co.baseDelay(p)) * jitter)
 }
 
 // SyncAll performs one synchronous pull of every peer and publishes the
@@ -424,6 +438,9 @@ func (co *Coordinator) syncPeer(ctx context.Context, p *peer) (changed bool, err
 	d, err := co.replicate(ctx, p.url, since, gen)
 	if err != nil {
 		return false, err
+	}
+	if pm := co.pmet[p.url]; pm != nil {
+		pm.deltaCells.Add(uint64(len(d.Cells)))
 	}
 	if d.Fingerprint != co.fingerprint {
 		return false, fmt.Errorf("%w: peer fingerprint %.12s does not match coordinator %.12s (different scheme, schema, or perturbation contract)",

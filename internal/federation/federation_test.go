@@ -5,11 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -131,6 +134,9 @@ func submitBatch(t testing.TB, schema *dataset.Schema, url string, recs []datase
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Drain before close so the shared client's connection goes back to
+	// the keep-alive pool (TestSyncReusesConnections counts arrivals).
+	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit-batch returned %s", resp.Status)
@@ -507,4 +513,56 @@ func TestFederationBackgroundSyncConverges(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	coord.Close() // idempotent with the deferred close
+}
+
+// TestSyncReusesConnections guards the replicate client's keep-alive
+// hygiene: the response body must be fully drained before close, or the
+// transport abandons the connection and every sync pass re-handshakes.
+// The test counts server-side connection arrivals across many pulls —
+// one warm connection should carry them all.
+func TestSyncReusesConnections(t *testing.T) {
+	schema := fedSchema(t)
+	srv, err := service.NewServer(schema, testSpec, service.WithScheme(stressScheme(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	var newConns atomic.Int64
+	ts.Config.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			newConns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	// Seed the peer so every pull carries a real delta payload to drain.
+	rng := rand.New(rand.NewSource(41))
+	submitBatch(t, schema, ts.URL, randomRecords(schema, rng, 200))
+
+	coord, err := federation.NewCoordinator(srv.CounterScheme(), []string{ts.URL},
+		func(mining.LiveCounter, map[string]uint64) error { return nil },
+		federation.WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+
+	const passes = 20
+	before := newConns.Load()
+	for pass := 0; pass < passes; pass++ {
+		// Grow the counter between passes so incremental deltas stay
+		// non-empty (an always-empty body would mask a drain regression).
+		submitBatch(t, schema, ts.URL, randomRecords(schema, rng, 10))
+		if err := coord.SyncAll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The submit traffic rides http.DefaultClient's own keep-alive pool;
+	// the replicate pulls ride ts.Client(). Two warm connections cover
+	// both, plus slack for one re-dial.
+	if opened := newConns.Load() - before; opened > 3 {
+		t.Fatalf("%d sync passes opened %d new connections; replicate responses are not being drained for reuse", passes, opened)
+	}
 }

@@ -1,0 +1,102 @@
+package federation
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// WithMetrics registers the coordinator's replication telemetry in reg:
+// per-peer sync lag, backoff state, sync/full-resync counts, delta
+// traffic, and the coordinator-wide publish counters. Peer URLs are the
+// only label values — deployment configuration, never data.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
+// peerMetrics are the per-peer instruments updated inline on the sync
+// path (everything else is sampled at scrape time from the peer's own
+// bookkeeping).
+type peerMetrics struct {
+	deltaBytes *telemetry.Counter
+	deltaCells *telemetry.Counter
+}
+
+// registerMetrics wires every instrument against the built peer
+// registry. Gauges and counter callbacks sample the same mutex-guarded
+// fields /v1/stats reads, so the scrape can never disagree with the
+// stats endpoint.
+func (co *Coordinator) registerMetrics(reg *telemetry.Registry) {
+	co.pmet = make(map[string]*peerMetrics, len(co.peers))
+	for _, p := range co.peers {
+		p := p
+		lbl := telemetry.L("peer", p.url)
+		reg.GaugeFunc("frapp_federation_sync_lag_seconds",
+			"Age of the last successful pull from the peer; 0 until first contact.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				if p.lastSync.IsZero() {
+					return 0
+				}
+				return time.Since(p.lastSync).Seconds()
+			}, lbl)
+		reg.GaugeFunc("frapp_federation_backoff_seconds",
+			"Current per-peer retry delay before jitter: the sync interval doubled per consecutive failure up to the cap.",
+			func() float64 { return co.baseDelay(p).Seconds() }, lbl)
+		reg.GaugeFunc("frapp_federation_peer_healthy",
+			"1 when the peer's last sync attempt succeeded, 0 otherwise.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				if p.healthy {
+					return 1
+				}
+				return 0
+			}, lbl)
+		reg.GaugeFunc("frapp_federation_peer_records",
+			"Records the peer's replica currently contributes to the global counter.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				if p.replica == nil {
+					return 0
+				}
+				return float64(p.replica.N())
+			}, lbl)
+		reg.CounterFunc("frapp_federation_syncs_total",
+			"Successful pulls from the peer.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(p.syncs)
+			}, lbl)
+		reg.CounterFunc("frapp_federation_full_resyncs_total",
+			"Pulls answered with a full resync (first contact, lost baseline, or peer generation change).",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(p.fullSyncs)
+			}, lbl)
+		co.pmet[p.url] = &peerMetrics{
+			deltaBytes: reg.Counter("frapp_federation_delta_bytes_total",
+				"Replicate response bytes read from the peer, drained tail included.", lbl),
+			deltaCells: reg.Counter("frapp_federation_delta_cells_total",
+				"Sparse histogram cells carried by accepted deltas from the peer.", lbl),
+		}
+	}
+	reg.CounterFunc("frapp_federation_publishes_total",
+		"Merged global counters handed to the publish hook.",
+		func() float64 {
+			co.pubMu.Lock()
+			defer co.pubMu.Unlock()
+			return float64(co.publishes)
+		})
+	reg.CounterFunc("frapp_federation_publish_failures_total",
+		"Merge or publish-hook rejections; a growing count with healthy peers means the served view is frozen.",
+		func() float64 {
+			co.pubMu.Lock()
+			defer co.pubMu.Unlock()
+			return float64(co.publishFailures)
+		})
+}

@@ -106,6 +106,17 @@ type Config struct {
 	// server owns its own durability. Lets the perf gate measure the
 	// handler stack with the WAL enabled.
 	State string
+	// OpsTarget is the base URL of the target server's ops listener
+	// (frapp-server -ops-addr). When set, the harness scrapes /metrics
+	// after the run, folds the server-observed latency quantiles into the
+	// report next to the client-observed ones, and fails the run if the
+	// scrape is unparseable or missing a declared metric family. When
+	// self-hosting it defaults to a loopback ops listener the harness
+	// binds itself, so the scrape gate always runs in CI.
+	OpsTarget string
+	// MetricsOut is where the raw /metrics scrape is saved
+	// ("" = don't save). Only meaningful with an ops target.
+	MetricsOut string
 	// Out is the BENCH_load.json path ("" = don't write).
 	Out string
 	// Baseline is the committed baseline report to gate against
@@ -138,6 +149,8 @@ func newFlagSet(cfg *Config, mix *string) *flag.FlagSet {
 	fs.Int64Var(&cfg.Seed, "seed", 2005, "seed for population, perturbation, and arrival schedule")
 	fs.Float64Var(&cfg.Skew, "zipf-skew", 1.1, "Zipf exponent of category frequencies")
 	fs.StringVar(&cfg.State, "state", "", "durable state directory for the self-hosted server (empty = in-memory; ignored with -target)")
+	fs.StringVar(&cfg.OpsTarget, "ops-target", "", "base URL of the target's ops listener to scrape /metrics from (self-hosted runs default to a built-in loopback ops listener)")
+	fs.StringVar(&cfg.MetricsOut, "metrics-out", "", "save the raw post-run /metrics scrape to this path (empty = don't save)")
 	fs.StringVar(&cfg.Out, "out", "BENCH_load.json", "machine-readable report path (empty = don't write)")
 	fs.StringVar(&cfg.Baseline, "baseline", "", "baseline report to gate p99/throughput against (empty = no gate)")
 	fs.Float64Var(&cfg.P99Tol, "p99-tol", 4.0, "allowed p99 latency growth factor vs baseline")

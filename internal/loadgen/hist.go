@@ -9,168 +9,20 @@ package loadgen
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// The histogram is log-linear ("HDR-style"): values below 2^histSubBits
-// ns get exact unit buckets; every higher octave [2^o, 2^(o+1)) is split
-// into 2^histSubBits equal sub-buckets, so the relative quantization
-// error is bounded by 2^-histSubBits ≈ 3.1% everywhere. Recording is a
-// couple of bit operations plus one atomic add — cheap enough to sit on
-// the hot path of every simulated client — and the whole histogram is a
-// fixed-size array, so there is nothing to allocate or resize under
-// load.
-const (
-	histSubBits = 5
-	histSub     = 1 << histSubBits
-	// histMaxOctave caps the tracked range: the last regular bucket ends
-	// at 2^(histMaxOctave+1) ns ≈ 146 min. Anything slower lands in the
-	// overflow bucket and is reported via the exact tracked maximum.
-	histMaxOctave = 42
-	// histBuckets = unit buckets + sub-buckets per octave above, + 1
-	// overflow.
-	histBuckets = histSub + (histMaxOctave-histSubBits+1)*histSub + 1
-)
-
-// Histogram is a streaming, concurrency-safe log-bucketed latency
-// histogram. The zero value is not usable; call NewHistogram.
-type Histogram struct {
-	counts [histBuckets]atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Int64
-	max    atomic.Int64
-}
+// Histogram is the shared log-bucketed latency histogram, promoted to
+// internal/telemetry so the server's operational metrics and this
+// harness record into the same implementation. The alias keeps the
+// loadgen API unchanged.
+type Histogram = telemetry.Histogram
 
 // NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
-
-// bucketIndex maps a non-negative nanosecond value to its bucket.
-func bucketIndex(ns int64) int {
-	u := uint64(ns)
-	if u < histSub {
-		return int(u)
-	}
-	o := bits.Len64(u) - 1 // top bit position, ≥ histSubBits
-	if o > histMaxOctave {
-		return histBuckets - 1 // overflow
-	}
-	shift := o - histSubBits
-	minor := (u >> uint(shift)) & (histSub - 1)
-	return (shift+1)*histSub + int(minor)
-}
-
-// bucketUpper returns the inclusive upper bound (ns) of bucket idx; the
-// overflow bucket has no bound and returns -1.
-func bucketUpper(idx int) int64 {
-	if idx < histSub {
-		return int64(idx)
-	}
-	if idx >= histBuckets-1 {
-		return -1
-	}
-	k := idx/histSub - 1 // octave offset: o = histSubBits + k
-	o := histSubBits + k
-	minor := int64(idx - (k+1)*histSub)
-	return 1<<uint(o) + (minor+1)<<uint(o-histSubBits) - 1
-}
-
-// Record adds one latency observation. Negative durations clamp to 0.
-func (h *Histogram) Record(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	h.counts[bucketIndex(ns)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(ns)
-	for {
-		cur := h.max.Load()
-		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
-
-// Count returns the number of recorded observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Max returns the exact largest recorded value.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Mean returns the exact arithmetic mean of recorded values.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / int64(n))
-}
-
-// Quantile returns an upper bound on the q-th sample quantile (rank
-// ceil(q·count), 1-based): the upper edge of the bucket holding that
-// sample, so the true sample value v satisfies v ≤ Quantile(q) ≤
-// v·(1+2^-5) (exact for v < 32ns). q ≥ 1 and samples in the overflow
-// bucket report the exact tracked maximum. Returns 0 on an empty
-// histogram; q below the first sample's mass returns that sample's
-// bucket bound.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q >= 1 {
-		return h.Max()
-	}
-	if q < 0 {
-		q = 0
-	}
-	rank := uint64(math.Ceil(q * float64(n)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	var cum uint64
-	for idx := 0; idx < histBuckets; idx++ {
-		cum += h.counts[idx].Load()
-		if cum >= rank {
-			upper := bucketUpper(idx)
-			if upper < 0 { // overflow bucket
-				return h.Max()
-			}
-			// The tracked max is exact and caps the bound, so a
-			// quantile never reports above the largest observation.
-			if m := h.Max(); time.Duration(upper) > m {
-				return m
-			}
-			return time.Duration(upper)
-		}
-	}
-	return h.Max()
-}
-
-// Merge folds o's observations into h. Not atomic with respect to
-// concurrent recording on o; merge quiesced histograms.
-func (h *Histogram) Merge(o *Histogram) {
-	for i := range o.counts {
-		if c := o.counts[i].Load(); c > 0 {
-			h.counts[i].Add(c)
-		}
-	}
-	h.count.Add(o.count.Load())
-	h.sum.Add(o.sum.Load())
-	om := o.max.Load()
-	for {
-		cur := h.max.Load()
-		if om <= cur || h.max.CompareAndSwap(cur, om) {
-			return
-		}
-	}
-}
+func NewHistogram() *Histogram { return telemetry.NewHistogram() }
 
 // Class is an endpoint class of the driven traffic.
 type Class int

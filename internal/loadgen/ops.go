@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The post-run metrics scrape closes the loop between the two latency
+// views: the client's (scheduled-time to response, including open-loop
+// queueing) and the server's (handler entry to handler exit). A p99 gap
+// between them is queueing — in the kernel, the accept queue, or the
+// worker pool — and pinning both numbers in the same report makes that
+// gap a first-class, trackable quantity instead of a mystery.
+
+// RequiredFamilies is the metric contract a scraped server must declare.
+// A scrape missing any of these families fails the run — the perf gate
+// doubles as a "did the exporter silently break" gate.
+var RequiredFamilies = []string{
+	"frapp_http_requests_total",
+	"frapp_http_request_duration_seconds",
+	"frapp_http_requests_inflight",
+	"frapp_ingest_records_total",
+	"frapp_jobs_queue_depth",
+	"frapp_uptime_seconds",
+}
+
+// classRoute maps each workload class to the route label its operations
+// carry in the server's RED metrics.
+var classRoute = map[Class]string{
+	ClassSubmit: "/v1/submit-batch",
+	ClassQuery:  "/v1/query",
+	ClassMine:   "/v1/mine-jobs",
+}
+
+// ScrapeOps fetches and validates opsTarget's /metrics. It returns the
+// raw exposition bytes (for -metrics-out and CI artifacts) alongside
+// the parsed form; the error is non-nil when the endpoint is
+// unreachable, the output unparseable, or a required family missing.
+func ScrapeOps(opsTarget string) ([]byte, *telemetry.Exposition, error) {
+	url := strings.TrimRight(opsTarget, "/") + "/metrics"
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, nil, fmt.Errorf("scrape %s: read: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return raw, nil, fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	expo, err := telemetry.ParseExposition(raw)
+	if err != nil {
+		return raw, nil, fmt.Errorf("scrape %s: unparseable exposition: %w", url, err)
+	}
+	if missing := expo.CheckFamilies(RequiredFamilies); len(missing) > 0 {
+		return raw, expo, fmt.Errorf("scrape %s: missing declared metric families %v", url, missing)
+	}
+	return raw, expo, nil
+}
+
+// AddServerMetrics folds the server-observed side of the run into the
+// report: per class, the handler-level latency quantiles and request
+// count for that class's route, next to the client-observed quantiles
+// already there. Values are converted from the exposition's seconds to
+// the report's nanoseconds. Routes the run never exercised (zero
+// _count) add nothing.
+func AddServerMetrics(rpt *Report, expo *telemetry.Exposition) {
+	const durFam = "frapp_http_request_duration_seconds"
+	for _, c := range Classes() {
+		route := classRoute[c]
+		exp := "load_" + c.String()
+		n, ok := expo.Value(durFam+"_count", map[string]string{"route": route})
+		if !ok || n <= 0 {
+			continue
+		}
+		scheme := rpt.Config.Scheme
+		for _, q := range []struct{ metric, quantile string }{
+			{"server_p50_ns", "0.5"},
+			{"server_p99_ns", "0.99"},
+			{"server_max_ns", "1"},
+		} {
+			v, ok := expo.Value(durFam, map[string]string{"route": route, "quantile": q.quantile})
+			if !ok {
+				continue
+			}
+			ns := v * 1e9
+			rpt.Results = append(rpt.Results, ReportRecord{
+				Experiment: exp, Scheme: scheme, Metric: q.metric,
+				Value: ns, Unit: "ns", NsPerOp: ns,
+			})
+		}
+		rpt.Results = append(rpt.Results, ReportRecord{
+			Experiment: exp, Scheme: scheme, Metric: "server_requests",
+			Value: n, Unit: "ops",
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// opsRegistry builds a registry declaring every required family, with
+// enough recorded traffic that AddServerMetrics has quantiles to fold.
+func opsRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("frapp_http_requests_total", "req",
+		telemetry.L("route", "/v1/submit-batch"), telemetry.L("code", "2xx"), telemetry.L("wire", "json")).Add(5)
+	h := reg.Histogram("frapp_http_request_duration_seconds", "dur",
+		telemetry.L("route", "/v1/submit-batch"))
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	reg.Gauge("frapp_http_requests_inflight", "inflight")
+	reg.Counter("frapp_ingest_records_total", "recs", telemetry.L("shard", "0"))
+	reg.Gauge("frapp_jobs_queue_depth", "depth")
+	reg.Gauge("frapp_uptime_seconds", "up")
+	return reg
+}
+
+func opsServer(t *testing.T, reg *telemetry.Registry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(telemetry.OpsHandler(reg, nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestScrapeOps(t *testing.T) {
+	srv := opsServer(t, opsRegistry(t))
+	raw, expo, err := ScrapeOps(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || expo == nil {
+		t.Fatal("empty scrape")
+	}
+	if missing := expo.CheckFamilies(RequiredFamilies); len(missing) > 0 {
+		t.Fatalf("missing families %v", missing)
+	}
+}
+
+func TestScrapeOpsMissingFamilyFails(t *testing.T) {
+	// A registry without the duration histogram must fail the gate.
+	reg := telemetry.NewRegistry()
+	reg.Counter("frapp_http_requests_total", "req")
+	srv := opsServer(t, reg)
+	_, _, err := ScrapeOps(srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "missing declared metric families") {
+		t.Fatalf("err = %v, want missing-families failure", err)
+	}
+}
+
+func TestScrapeOpsUnparseableFails(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("this is not { exposition format\n"))
+	}))
+	defer srv.Close()
+	_, _, err := ScrapeOps(srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "unparseable") {
+		t.Fatalf("err = %v, want unparseable failure", err)
+	}
+}
+
+func TestScrapeOpsUnreachableFails(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close()
+	if _, _, err := ScrapeOps(srv.URL); err == nil {
+		t.Fatal("scrape of closed server succeeded")
+	}
+}
+
+func TestAddServerMetrics(t *testing.T) {
+	reg := opsRegistry(t)
+	srv := opsServer(t, reg)
+	_, expo, err := ScrapeOps(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpt := &Report{Config: ReportConfig{Scheme: "gamma"}}
+	AddServerMetrics(rpt, expo)
+
+	p99, ok := rpt.metric("load_submit", "server_p99_ns")
+	if !ok {
+		t.Fatal("no server_p99_ns for load_submit")
+	}
+	// 100 samples 1..100ms: p99 lands near 99ms (log-bucketed).
+	if p99 < 50e6 || p99 > 150e6 {
+		t.Fatalf("server p99 = %vns, want ~99ms", p99)
+	}
+	if n, ok := rpt.metric("load_submit", "server_requests"); !ok || n != 100 {
+		t.Fatalf("server_requests = %v,%v want 100", n, ok)
+	}
+	// Routes with no traffic add nothing.
+	if _, ok := rpt.metric("load_query", "server_p99_ns"); ok {
+		t.Fatal("unexercised route grew server metrics")
+	}
+}
+
+func TestAddServerMetricsEmptyExposition(t *testing.T) {
+	expo, err := telemetry.ParseExposition(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpt := &Report{}
+	AddServerMetrics(rpt, expo)
+	if len(rpt.Results) != 0 {
+		t.Fatalf("empty exposition grew %d records", len(rpt.Results))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -128,14 +129,17 @@ func (c *boolCore) prepareIngest(records [][]Item) (preparedIngest, error) {
 
 // ingestPrepared folds rows [lo, hi) of a prepared batch into the joint
 // histogram under one lock acquisition.
-func (c *boolCore) ingestPrepared(p preparedIngest, lo, hi int) {
+func (c *boolCore) ingestPrepared(p preparedIngest, lo, hi int) time.Duration {
 	rows := p.(boolPrepared).rows[lo:hi]
+	t0 := time.Now()
 	c.mu.Lock()
+	wait := time.Since(t0)
 	defer c.mu.Unlock()
 	for _, row := range rows {
 		c.rows[row]++
 	}
 	c.n += len(rows)
+	return wait
 }
 
 // Supports returns scheme-reconstructed support estimates.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -91,13 +92,15 @@ func (c *MaterializedGammaCounter) prepareIngest(records [][]Item) (preparedInge
 // subset histogram under one lock acquisition. The loop runs mask-major
 // so each histogram (and its column list) stays hot across the whole
 // span — the cache behavior per-record Add cannot have.
-func (c *MaterializedGammaCounter) ingestPrepared(p preparedIngest, lo, hi int) {
+func (c *MaterializedGammaCounter) ingestPrepared(p preparedIngest, lo, hi int) time.Duration {
 	recs := p.(gammaPrepared).recs[lo:hi]
 	cards := make([]int, c.schema.M())
 	for j := range cards {
 		cards[j] = c.schema.Attrs[j].Cardinality()
 	}
+	t0 := time.Now()
 	c.mu.Lock()
+	wait := time.Since(t0)
 	defer c.mu.Unlock()
 	for mask := 1; mask < len(c.hists); mask++ {
 		cols, hist := c.cols[mask], c.hists[mask]
@@ -110,6 +113,7 @@ func (c *MaterializedGammaCounter) ingestPrepared(p preparedIngest, lo, hi int) 
 		}
 	}
 	c.n += len(recs)
+	return wait
 }
 
 // Merge additively combines another gamma core into this one. Because

@@ -3,6 +3,7 @@ package mining
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -152,8 +153,11 @@ type CounterCore interface {
 	// ingestPrepared applies records [lo, hi) of a prepared batch under
 	// ONE lock acquisition. The records were pre-validated by
 	// prepareIngest, so application cannot fail — the primitive that
-	// makes batched ingest all-or-nothing by construction.
-	ingestPrepared(p preparedIngest, lo, hi int)
+	// makes batched ingest all-or-nothing by construction. It returns
+	// how long the call waited to acquire the core's lock, measured at
+	// the mutex itself, so contention telemetry sees pure wait time
+	// rather than wait plus apply.
+	ingestPrepared(p preparedIngest, lo, hi int) (lockWait time.Duration)
 
 	// prepare validates and routes a candidate batch; gather folds this
 	// core's contribution into it under the core's lock. Shard reads are

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -61,7 +62,28 @@ type ShardedCounter struct {
 	ckpts          map[uint64]*deltaCheckpoint
 	ckptOrder      []uint64
 	lastDeltaToken uint64
+
+	// obs receives per-shard ingest telemetry. It is set once via
+	// SetIngestObserver before the counter starts taking traffic and read
+	// without synchronization on the hot path; a nil observer costs one
+	// predictable branch per shard span.
+	obs IngestObserver
 }
+
+// IngestObserver receives ingest telemetry from the counter hot path:
+// which shard a span of records landed on, how many records it carried,
+// and how long the span waited for the shard lock (zero for the
+// single-record path, which cannot separate wait from apply without
+// taxing every submit). Implementations must be allocation-free and
+// cheap — they run inside IngestBatch.
+type IngestObserver interface {
+	ObserveIngest(shard, records int, lockWait time.Duration)
+}
+
+// SetIngestObserver installs the ingest telemetry hook. Call it before
+// the counter is exposed to traffic; the field is read unsynchronized
+// on the hot path.
+func (c *ShardedCounter) SetIngestObserver(o IngestObserver) { c.obs = o }
 
 // Compile-time check: ShardedCounter is the LiveCounter implementation.
 var _ LiveCounter = (*ShardedCounter)(nil)
@@ -159,6 +181,9 @@ func (c *ShardedCounter) Ingest(items []Item) error {
 	}
 	c.total.Add(1)
 	c.version.Add(1)
+	if c.obs != nil {
+		c.obs.ObserveIngest(int(shard), 1, 0)
+	}
 	return nil
 }
 
@@ -206,7 +231,10 @@ func (c *ShardedCounter) IngestBatch(records [][]Item) error {
 			continue
 		}
 		shard := (start + uint64(k)) % shards
-		c.shards[shard].ingestPrepared(prep, lo, lo+cnt)
+		wait := c.shards[shard].ingestPrepared(prep, lo, lo+cnt)
+		if c.obs != nil {
+			c.obs.ObserveIngest(int(shard), cnt, wait)
+		}
 		lo += cnt
 	}
 	c.total.Add(int64(n))

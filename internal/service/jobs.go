@@ -110,6 +110,9 @@ type job struct {
 	version uint64
 	cached  bool
 	created time.Time
+	// started is when a worker picked the job up — the boundary between
+	// the queued and running durations the state-latency metrics record.
+	started time.Time
 	// finished is the eviction clock: TTL counts from terminal state.
 	finished time.Time
 	result   *MineResponse
@@ -146,9 +149,13 @@ type jobStore struct {
 	cache  map[mineKey]*cacheEntry
 	closed bool
 
-	nextID  atomic.Uint64
-	runs    atomic.Int64  // actual Apriori executions (cache misses)
-	gen     atomic.Uint64 // counter generation; see mineKey
+	nextID atomic.Uint64
+	runs   atomic.Int64  // actual Apriori executions (cache misses)
+	gen    atomic.Uint64 // counter generation; see mineKey
+	// met, when set (WithTelemetry), receives rejection counts and
+	// state-duration observations. Guarded by mu like the job state it
+	// describes.
+	met     *jobMetrics
 	ttl     time.Duration
 	now     func() time.Time // injectable for TTL tests
 	queue   chan *job
@@ -245,6 +252,9 @@ func (st *jobStore) submit(p MineParams) (*job, error) {
 	select {
 	case st.queue <- j:
 	default:
+		if st.met != nil {
+			st.met.rejected.Inc()
+		}
 		return nil, fmt.Errorf("%w: job queue full (%d pending)", ErrService, jobQueueCapacity)
 	}
 	st.jobs[j.id] = j
@@ -252,11 +262,23 @@ func (st *jobStore) submit(p MineParams) (*job, error) {
 	return j, nil
 }
 
+// setMetrics installs the job instruments; taken under mu so workers
+// already running observe the write.
+func (st *jobStore) setMetrics(m *jobMetrics) {
+	st.mu.Lock()
+	st.met = m
+	st.mu.Unlock()
+}
+
 func (st *jobStore) setRunning(j *job) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if j.state == JobQueued {
 		j.state = JobRunning
+		j.started = st.now()
+		if st.met != nil {
+			st.met.queuedDur.Record(j.started.Sub(j.created))
+		}
 	}
 }
 
@@ -269,6 +291,16 @@ func (st *jobStore) finish(j *job, resp *MineResponse, version uint64, cached bo
 	j.version = version
 	j.cached = cached
 	j.finished = st.now()
+	if st.met != nil {
+		if !j.started.IsZero() {
+			st.met.runningDur.Record(j.finished.Sub(j.started))
+		}
+		if err != nil {
+			st.met.failed.Inc()
+		} else {
+			st.met.done.Inc()
+		}
+	}
 	if err != nil {
 		j.state = JobFailed
 		j.err = err

@@ -43,6 +43,7 @@ func (s *Server) LoadState(r io.Reader) error {
 	// atomic unit, so no mining worker can pair the restored counter
 	// with a pre-restore cache entry (see executeMine).
 	gen := s.jobs.invalidateCache()
+	s.met.observeCounter(counter)
 	s.counter.Store(&counterRef{counter: counter, gen: gen})
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/mining"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // ErrService is returned for invalid service configuration or requests.
@@ -93,6 +94,12 @@ type Server struct {
 	persistStop     chan struct{}
 	persistDone     chan struct{}
 	closeOnce       sync.Once
+	// start is when NewServer ran — the anchor for /v1/stats uptime and
+	// the uptime gauge.
+	start time.Time
+	// met, when set (WithTelemetry), holds the operational instruments
+	// and the middleware that records them; see telemetry.go.
+	met *serverMetrics
 }
 
 // counterRef pairs a counter with the cache generation it belongs to
@@ -118,6 +125,8 @@ type serverConfig struct {
 	store           store.StateStore
 	checkpointEvery int
 	walFlush        time.Duration
+	metrics         *telemetry.Registry
+	accessLog       *telemetry.Logger
 }
 
 // WithScheme selects the perturbation scheme the server counts under:
@@ -181,12 +190,24 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if err != nil {
 		return nil, err
 	}
+	var met *serverMetrics
+	if cfg.metrics != nil {
+		met = newServerMetrics(cfg.metrics, cfg.accessLog)
+	}
 	// A store-backed server starts from its durable state — newest
 	// checkpoint plus replayed WAL tail — instead of empty, and the
 	// recovered counter carries its pre-crash replication identity so
 	// federation pullers resume incrementally.
 	var counter *mining.ShardedCounter
 	if cfg.store != nil {
+		// The observer must be installed before Recover so the recovery
+		// outcome itself is observed. The store interface stays
+		// observer-free; any store that can report is duck-typed here.
+		if met != nil {
+			if o, ok := cfg.store.(interface{ SetObserver(store.Observer) }); ok {
+				o.SetObserver(&met.storeObs)
+			}
+		}
 		counter, err = cfg.store.Recover(scheme, cfg.shards)
 		if err != nil {
 			return nil, fmt.Errorf("recovering durable state: %w", err)
@@ -209,12 +230,17 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if cfg.maxBody <= 0 {
 		cfg.maxBody = defaultMaxBody
 	}
-	s := &Server{schema: schema, spec: spec, gamma: gamma, scheme: scheme, queryLimit: cfg.queryLimit, maxBody: cfg.maxBody}
+	s := &Server{schema: schema, spec: spec, gamma: gamma, scheme: scheme, queryLimit: cfg.queryLimit, maxBody: cfg.maxBody, start: time.Now(), met: met}
 	if g, ok := scheme.(*mining.GammaScheme); ok {
 		s.matrix = g.Matrix()
 	}
+	met.observeCounter(counter)
 	s.counter.Store(&counterRef{counter: counter})
 	s.jobs = newJobStore(cfg.mineWorkers, cfg.jobTTL, s.executeMine)
+	if met != nil {
+		s.jobs.setMetrics(&met.jobs)
+		met.wireServer(s)
+	}
 	if cfg.store != nil {
 		s.store = cfg.store
 		s.checkpointEvery = cfg.checkpointEvery
@@ -285,19 +311,27 @@ func (s *Server) MineWorkers() int { return s.jobs.workers }
 // tests assert on.
 func (s *Server) AprioriRuns() int64 { return s.jobs.runs.Load() }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. With telemetry enabled every route is
+// wrapped in the RED-metrics/access-log middleware at construction, so
+// the route label is always the registered pattern — never the raw URL.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/schema", s.handleSchema)
-	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
-	mux.HandleFunc("POST /v1/submit-batch", s.handleSubmitBatch)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/mine", s.handleMine)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/mine-jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /v1/mine-jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/mine-jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("GET /v1/replicate", s.handleReplicate)
+	handle := func(pattern string, h http.HandlerFunc) {
+		if s.met != nil {
+			h = s.met.wrap(pattern, h)
+		}
+		mux.HandleFunc(pattern, h)
+	}
+	handle("GET /v1/schema", s.handleSchema)
+	handle("POST /v1/submit", s.handleSubmit)
+	handle("POST /v1/submit-batch", s.handleSubmitBatch)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/mine", s.handleMine)
+	handle("POST /v1/query", s.handleQuery)
+	handle("POST /v1/mine-jobs", s.handleSubmitJob)
+	handle("GET /v1/mine-jobs", s.handleListJobs)
+	handle("GET /v1/mine-jobs/{id}", s.handleGetJob)
+	handle("GET /v1/replicate", s.handleReplicate)
 	return mux
 }
 
@@ -628,6 +662,12 @@ type StatsResponse struct {
 	// the number of Apriori executions so far (cache hits excluded).
 	MineWorkers int   `json:"mine_workers"`
 	MineRuns    int64 `json:"mine_runs"`
+	// UptimeSeconds is how long this server instance has been up;
+	// StartTime is when it was constructed (RFC 3339). Together they let
+	// a poller distinguish a restart (start time moved) from a counter
+	// reset.
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	StartTime     time.Time `json:"start_time"`
 	// Federation, present only on a federation coordinator, carries the
 	// per-peer health table and the version vector of the published
 	// global counter (see replicate.go).
@@ -673,6 +713,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CounterGeneration: ref.gen,
 		MineWorkers:       s.MineWorkers(),
 		MineRuns:          s.AprioriRuns(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		StartTime:         s.start.UTC(),
 	}
 	if fed := s.fed.Load(); fed != nil {
 		resp.Federation = fed.Stats()
@@ -839,6 +881,9 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 	counter, gen := ref.counter, ref.gen
 	key := mineKey{gen: gen, version: counter.Version(), minsup: p.MinSupport, scheme: s.scheme.Name(), maxlen: p.MaxLen}
 	if e := s.jobs.cacheGet(key); e != nil {
+		if s.met != nil {
+			s.met.jobs.cacheHits.Inc()
+		}
 		resp, err := s.renderMine(e.result, e.records, p)
 		if err != nil {
 			return nil, key.version, false, err
@@ -860,6 +905,9 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 		return nil, version, false, err
 	}
 	s.jobs.runs.Add(1)
+	if s.met != nil {
+		s.met.jobs.cacheMiss.Inc()
+	}
 	// Adopt the canonical entry: if another worker raced us to the same
 	// key (both snapshots valid for this version, possibly with a few
 	// more folded-in records each), the first store wins and every job

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/mining"
 )
@@ -102,6 +103,11 @@ type FileStore struct {
 	// walWrite, when set (tests), intercepts WAL frame writes to inject
 	// partial or failing writers.
 	walWrite func(f *os.File, p []byte) (int, error)
+
+	// walBytes tracks the current WAL segment's size (header included)
+	// for telemetry; obs, when set, receives durability observations.
+	walBytes int64
+	obs      Observer
 }
 
 // Open opens (or creates) a store directory. A legacy single-file
@@ -202,6 +208,18 @@ type walHeader struct {
 
 // Recover implements StateStore.
 func (s *FileStore) Recover(scheme mining.CounterScheme, shards int) (*mining.ShardedCounter, error) {
+	counter, err := s.recover(scheme, shards)
+	if s.obs != nil {
+		records := 0
+		if counter != nil {
+			records = counter.N()
+		}
+		s.obs.ObserveRecovery(records, counter != nil, err)
+	}
+	return counter, err
+}
+
+func (s *FileStore) recover(scheme mining.CounterScheme, shards int) (*mining.ShardedCounter, error) {
 	if s.recovered {
 		return nil, fmt.Errorf("%w: Recover called twice", ErrStore)
 	}
@@ -389,34 +407,46 @@ func (s *FileStore) Attach(counter *mining.ShardedCounter) error {
 // delta comes back FULL — then the store compacts instead of appending,
 // which restores a clean chain.
 func (s *FileStore) Append() error {
+	start := time.Now()
+	n, records, fsyncDur, err := s.append()
+	if s.obs != nil {
+		s.obs.ObserveAppend(n, records, fsyncDur, time.Since(start), err)
+		s.obs.ObserveWALSize(s.walBytes)
+	}
+	return err
+}
+
+func (s *FileStore) append() (appended, records int, fsyncDur time.Duration, err error) {
 	if err := s.attached(); err != nil {
-		return err
+		return 0, 0, 0, err
 	}
 	d, err := s.counter.DeltaSince(s.lastToken)
 	if err != nil {
-		return err
+		return 0, 0, 0, err
 	}
 	if d.Full() {
-		return s.checkpoint()
+		return 0, 0, 0, s.checkpoint()
 	}
 	if d.ToVersion == s.lastToken {
-		return nil // unchanged
+		return 0, 0, 0, nil // unchanged
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
-		return err
+		return 0, 0, 0, err
 	}
 	if err := s.writeFrame(buf.Bytes()); err != nil {
-		return err
+		return 0, 0, 0, err
 	}
 	if s.sync == SyncAlways {
+		t0 := time.Now()
 		if err := s.wal.Sync(); err != nil {
-			return err
+			return buf.Len(), 0, time.Since(t0), err
 		}
+		fsyncDur = time.Since(t0)
 	}
 	s.lastToken = d.ToVersion
 	s.sinceCkpt += d.Records
-	return nil
+	return buf.Len(), d.Records, fsyncDur, nil
 }
 
 // Checkpoint implements StateStore.
@@ -432,12 +462,24 @@ func (s *FileStore) Checkpoint() error {
 // files older than seq (the previous generation is kept as the
 // fallback for a corrupt newest checkpoint).
 func (s *FileStore) checkpoint() error {
+	start := time.Now()
+	stateBytes, err := s.compact()
+	if s.obs != nil {
+		s.obs.ObserveCheckpoint(stateBytes, time.Since(start), err)
+		s.obs.ObserveWALSize(s.walBytes)
+	}
+	return err
+}
+
+// compact is the checkpoint body, returning the serialized state size
+// for telemetry.
+func (s *FileStore) compact() (int, error) {
 	// One full pull both captures the state and retains its baseline in
 	// the counter's ring, so the checkpoint token is a real stream
 	// position the WAL chain and replication pullers can chain onto.
 	d, err := s.counter.DeltaSince(0)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Bridge the outgoing segment onto the checkpoint token: appending
 	// the pending tail to the old WAL lets a recovery that falls back
@@ -458,14 +500,14 @@ func (s *FileStore) checkpoint() error {
 	// arriving on the live counter.
 	frozen, err := mining.NewShardedCounter(s.counter.CounterScheme(), 1)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := frozen.ApplyDelta(d); err != nil {
-		return err
+		return 0, err
 	}
 	var state bytes.Buffer
 	if err := frozen.Save(&state); err != nil {
-		return err
+		return 0, err
 	}
 	newSeq := s.seq + 1
 	ck := checkpointFile{
@@ -477,16 +519,16 @@ func (s *FileStore) checkpoint() error {
 		State:       state.Bytes(),
 	}
 	if err := s.writeCheckpointFile(&ck); err != nil {
-		return err
+		return state.Len(), err
 	}
 	if err := s.rotateWAL(newSeq, d.ToVersion); err != nil {
-		return err
+		return state.Len(), err
 	}
 	s.seq = newSeq
 	s.lastToken = d.ToVersion
 	s.sinceCkpt = 0
 	s.prune(newSeq - 1)
-	return nil
+	return state.Len(), nil
 }
 
 // writeCheckpointFile writes one checkpoint atomically and durably:
@@ -536,6 +578,7 @@ func (s *FileStore) rotateWAL(seq, token uint64) error {
 		return err
 	}
 	s.wal = f
+	s.walBytes = 0
 	var buf bytes.Buffer
 	hdr := walHeader{Magic: walMagic, Version: formatVersion, Seq: seq, StartToken: token}
 	if err := gob.NewEncoder(&buf).Encode(&hdr); err != nil {
@@ -613,7 +656,8 @@ func (s *FileStore) writeFrame(payload []byte) error {
 	if write == nil {
 		write = (*os.File).Write
 	}
-	_, err := write(s.wal, frame)
+	n, err := write(s.wal, frame)
+	s.walBytes += int64(n)
 	return err
 }
 

@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the sorted-sample reference the histogram is checked
+// against: rank ceil(q·n), 1-based, clamped to [1, n].
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles asserts the histogram's quantile bound property against
+// the exact reference: exact ≤ histogram ≤ exact·(1+2^-5) + 1ns.
+func checkQuantiles(t *testing.T, h *Histogram, samples []time.Duration) {
+	t.Helper()
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		want := exactQuantile(sorted, q)
+		if got < want {
+			t.Errorf("Quantile(%v) = %v below exact %v", q, got, want)
+		}
+		bound := time.Duration(float64(want)*(1+1.0/histSub)) + 1
+		if got > bound {
+			t.Errorf("Quantile(%v) = %v exceeds bucket bound %v (exact %v)", q, got, bound, want)
+		}
+	}
+	if h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("Max = %v, want exact %v", h.Max(), sorted[len(sorted)-1])
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(samples))
+	}
+}
+
+func TestHistogramQuantilesVsExactReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	cases := map[string]func() []time.Duration{
+		"uniform_us_to_s": func() []time.Duration {
+			out := make([]time.Duration, 20000)
+			for i := range out {
+				out[i] = time.Duration(rng.Int63n(int64(time.Second)-1000) + 1000)
+			}
+			return out
+		},
+		"lognormal_latencies": func() []time.Duration {
+			out := make([]time.Duration, 20000)
+			for i := range out {
+				out[i] = time.Duration(math.Exp(rng.NormFloat64()*1.5 + 13) /* ~0.4ms median */)
+			}
+			return out
+		},
+		"tiny_exact_range": func() []time.Duration {
+			out := make([]time.Duration, 500)
+			for i := range out {
+				out[i] = time.Duration(rng.Int63n(histSub)) // unit buckets, exact
+			}
+			return out
+		},
+	}
+	for name, gen := range cases {
+		t.Run(name, func(t *testing.T) {
+			samples := gen()
+			h := NewHistogram()
+			for _, d := range samples {
+				h.Record(d)
+			}
+			checkQuantiles(t, h, samples)
+		})
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1234567 * time.Nanosecond)
+	checkQuantiles(t, h, []time.Duration{1234567})
+	if h.Mean() != 1234567 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	// Every quantile of a single sample is that sample's bucket.
+	if h.Quantile(0.001) != h.Quantile(0.999) {
+		t.Errorf("single-sample quantiles differ: %v vs %v", h.Quantile(0.001), h.Quantile(0.999))
+	}
+}
+
+func TestHistogramAllEqual(t *testing.T) {
+	h := NewHistogram()
+	samples := make([]time.Duration, 1000)
+	for i := range samples {
+		samples[i] = 5 * time.Millisecond
+		h.Record(samples[i])
+	}
+	checkQuantiles(t, h, samples)
+	if h.Quantile(0.5) != h.Quantile(0.99) {
+		t.Errorf("all-equal quantiles differ: %v vs %v", h.Quantile(0.5), h.Quantile(0.99))
+	}
+	if h.Mean() != 5*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	// Far beyond the last regular bucket (~146 min).
+	huge := 300 * time.Hour
+	h.Record(huge)
+	h.Record(2 * time.Millisecond)
+	if got := h.Quantile(1); got != huge {
+		t.Errorf("overflow max quantile = %v, want %v", got, huge)
+	}
+	// The overflow sample's quantile reports the exact tracked max, not
+	// a bucket bound.
+	if got := h.Quantile(0.99); got != huge {
+		t.Errorf("overflow p99 = %v, want exact max %v", got, huge)
+	}
+	if got := h.Quantile(0.5); got < 2*time.Millisecond || got > 2*time.Millisecond+2*time.Millisecond/histSub+1 {
+		t.Errorf("p50 = %v, want ≈2ms", got)
+	}
+	if h.Max() != huge {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(-5 * time.Second) // clamps to 0
+	if h.Quantile(1) != 0 || h.Count() != 1 {
+		t.Errorf("negative record: q1=%v count=%d", h.Quantile(1), h.Count())
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back into that bucket, and
+	// bucket indices must be monotone in the value.
+	prev := -1
+	for idx := 0; idx < histBuckets-1; idx++ {
+		upper := bucketUpper(idx)
+		if got := bucketIndex(upper); got != idx {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", idx, upper, got)
+		}
+		if got := bucketIndex(upper + 1); got != idx+1 {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", upper+1, got, idx+1)
+		}
+		if int(upper) <= prev {
+			t.Fatalf("bucket %d upper %d not increasing past %d", idx, upper, prev)
+		}
+		prev = int(upper)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, whole := NewHistogram(), NewHistogram(), NewHistogram()
+	var samples []time.Duration
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Second)))
+		samples = append(samples, d)
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	checkQuantiles(t, a, samples)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("merged Quantile(%v) = %v, direct %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+	}
+	if cum != goroutines*per {
+		t.Fatalf("bucket sum %d != count %d", cum, goroutines*per)
+	}
+}
+
+// TestHistogramMergeUnderConcurrentRecord exercises the documented
+// Merge contract: quiesced worker histograms are folded into a
+// destination that is still being recorded into concurrently. Nothing
+// may be lost or double-counted, and the exact aggregates (count, sum,
+// max, bucket mass) must reconcile once everything settles.
+func TestHistogramMergeUnderConcurrentRecord(t *testing.T) {
+	const recorders, perRecorder, workers, perWorker = 4, 20000, 6, 5000
+
+	dst := NewHistogram()
+
+	// Quiesced sources to merge while dst is hot.
+	sources := make([]*Histogram, workers)
+	var wantSum int64
+	var wantMax time.Duration
+	for w := range sources {
+		sources[w] = NewHistogram()
+		rng := rand.New(rand.NewSource(int64(100 + w)))
+		for i := 0; i < perWorker; i++ {
+			d := time.Duration(rng.Int63n(int64(time.Second)))
+			sources[w].Record(d)
+			wantSum += d.Nanoseconds()
+			if d > wantMax {
+				wantMax = d
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			<-start
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perRecorder; i++ {
+				dst.Record(time.Duration(rng.Int63n(int64(time.Millisecond))))
+			}
+		}(int64(g))
+	}
+	// Interleave the merges with the recording traffic.
+	for _, src := range sources {
+		wg.Add(1)
+		go func(src *Histogram) {
+			defer wg.Done()
+			<-start
+			dst.Merge(src)
+		}(src)
+	}
+	close(start)
+	wg.Wait()
+
+	wantCount := uint64(recorders*perRecorder + workers*perWorker)
+	if dst.Count() != wantCount {
+		t.Fatalf("Count = %d, want %d", dst.Count(), wantCount)
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += dst.counts[i].Load()
+	}
+	if cum != wantCount {
+		t.Fatalf("bucket mass %d != count %d", cum, wantCount)
+	}
+	if dst.Sum() < time.Duration(wantSum) {
+		t.Fatalf("Sum = %v below merged sources' sum %v", dst.Sum(), time.Duration(wantSum))
+	}
+	if dst.Max() < wantMax {
+		t.Fatalf("Max = %v lost merged max %v", dst.Max(), wantMax)
+	}
+	// Quantiles on the settled histogram must still honour the bound
+	// property; p1 of the mixed distribution must sit in the recorders'
+	// sub-millisecond mass.
+	if p1 := dst.Quantile(0.01); p1 > time.Millisecond+time.Millisecond/histSub {
+		t.Fatalf("p1 = %v, want sub-millisecond mass visible", p1)
+	}
+}

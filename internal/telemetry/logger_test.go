@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	id := NextRequestID()
+	l.Info().
+		Str("route", "/v1/submit").
+		Str("tricky", "a\"b\\c\nd\te\x01").
+		Int("status", 200).
+		Uint("bytes", 1234).
+		Float("ratio", 0.25).
+		Bool("ok", true).
+		Dur("dur", 1500*time.Microsecond).
+		Req(id).
+		Err(errors.New("boom \"quoted\"")).
+		Msg("access")
+
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatal("line not newline-terminated")
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	if m["level"] != "info" || m["msg"] != "access" {
+		t.Errorf("level/msg = %v/%v", m["level"], m["msg"])
+	}
+	if m["route"] != "/v1/submit" || m["tricky"] != "a\"b\\c\nd\te\x01" {
+		t.Errorf("string fields corrupted: %v", m)
+	}
+	if m["status"] != float64(200) || m["bytes"] != float64(1234) || m["ratio"] != 0.25 {
+		t.Errorf("numeric fields: %v", m)
+	}
+	if m["ok"] != true || m["dur"] != 0.0015 {
+		t.Errorf("bool/dur fields: %v", m)
+	}
+	if m["req"] != id.String() {
+		t.Errorf("req = %v, want %v", m["req"], id)
+	}
+	if m["error"] != "boom \"quoted\"" {
+		t.Errorf("error field: %v", m["error"])
+	}
+	if ts, ok := m["ts"].(string); !ok {
+		t.Errorf("ts missing")
+	} else if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+		t.Errorf("ts not RFC3339Nano: %v", err)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug().Str("k", "v").Msg("nope")
+	l.Info().Msg("nope")
+	l.Warn().Msg("yes")
+	l.Error().Msg("also")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("emitted %d lines, want 2:\n%s", lines, buf.String())
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug().Msg("now")
+	if strings.Count(buf.String(), "\n") != 3 {
+		t.Fatal("SetLevel did not take effect")
+	}
+}
+
+func TestNilLoggerAndDisabledLineSafe(t *testing.T) {
+	var l *Logger
+	// Every chained call on a nil logger / disabled line must no-op.
+	l.Info().Str("k", "v").Int("n", 1).Req(NextRequestID()).Msg("void")
+	l.SetLevel(LevelError)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NextRequestID(), NextRequestID()
+	if a == b {
+		t.Fatal("sequential request IDs collide")
+	}
+	s := a.String()
+	if len(s) != 16 {
+		t.Fatalf("ID %q not 16 hex digits", s)
+	}
+	for _, c := range s {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("ID %q has non-hex rune %q", s, c)
+		}
+	}
+	// Same process prefix, consecutive sequence numbers.
+	if uint64(a)>>32 != uint64(b)>>32 {
+		t.Fatal("process prefix changed between IDs")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) accepted")
+	}
+}

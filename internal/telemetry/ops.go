@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ExpositionContentType is the Content-Type of GET /metrics responses.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpsHandler serves the operational sidecar surface on a listener
+// separate from the data plane, so scraping and profiling never contend
+// with ingest traffic:
+//
+//	GET /metrics  — Prometheus text exposition of reg
+//	GET /healthz  — liveness: 200 once the process serves at all
+//	GET /readyz   — readiness: 200 only when ready() returns nil,
+//	                503 with the reason otherwise
+//	/debug/pprof/ — the standard pprof index, profiles, and traces
+//
+// ready may be nil, meaning always ready. The handler exposes only
+// aggregate operational data; bind it to localhost in production (see
+// docs/observability.md).
+func OpsHandler(reg *Registry, ready func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running ops listener.
+type OpsServer struct {
+	// Addr is the bound address, resolving ":0" to the chosen port.
+	Addr string
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeOps binds addr and serves h on it in a background goroutine.
+// The returned server reports the bound address (useful with ":0") and
+// must be Closed on shutdown.
+func ServeOps(addr string, h http.Handler) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops listener: %w", err)
+	}
+	s := &OpsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close shuts the listener down gracefully, bounded at two seconds.
+func (s *OpsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

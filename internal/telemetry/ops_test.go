@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestOpsHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frapp_ops_test_total", "help").Add(3)
+	var ready atomic.Bool
+	h := OpsHandler(reg, func() error {
+		if !ready.Load() {
+			return errors.New("warm sync pending")
+		}
+		return nil
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != ExpositionContentType {
+		t.Errorf("content type %q", ct)
+	}
+	exp, err := ParseExposition([]byte(body))
+	if err != nil {
+		t.Fatalf("scrape unparseable: %v", err)
+	}
+	if v, ok := exp.Value("frapp_ops_test_total", nil); !ok || v != 3 {
+		t.Errorf("scraped counter = %v, %v", v, ok)
+	}
+
+	if code, body, _ := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body, _ := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "warm sync pending") {
+		t.Errorf("not-ready /readyz = %d %q", code, body)
+	}
+	ready.Store(true)
+	if code, _, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("ready /readyz = %d", code)
+	}
+	if code, body, _ := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d", code)
+	}
+	if code, _, _ := get("/v1/submit"); code != http.StatusNotFound {
+		t.Errorf("data-plane route on ops listener = %d, want 404", code)
+	}
+}
+
+func TestServeOpsBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	s, err := ServeOps("127.0.0.1:0", OpsHandler(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over real listener = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: metric name (including any
+// _sum/_count suffix), its label set, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed Prometheus text scrape. It exists so the load
+// harness and CI can validate a live scrape — unparseable output or a
+// missing declared family fails the gate — and so tests can assert on
+// individual samples without string matching.
+type Exposition struct {
+	// Types maps family name to its TYPE line value.
+	Types map[string]string
+	// Samples lists every value line in document order.
+	Samples []Sample
+}
+
+// ParseExposition parses Prometheus text exposition format (version
+// 0.0.4) as produced by Registry.WriteText: HELP/TYPE comment lines and
+// `name{labels} value` samples. It is strict about structure — bad
+// label syntax, unparseable values, or samples under an undeclared
+// family are errors — because its job is to catch a broken exporter,
+// not to tolerate one.
+func ParseExposition(data []byte) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(s.Name, "_sum"), "_count")
+		if _, ok := exp.Types[s.Name]; !ok {
+			if _, ok := exp.Types[base]; !ok {
+				return nil, fmt.Errorf("line %d: sample %q under undeclared family", ln+1, s.Name)
+			}
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	return exp, nil
+}
+
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // free-form comment
+	}
+	if fields[1] != "TYPE" {
+		// HELP and free-form comments are informational.
+		return nil
+	}
+	if len(fields) != 4 {
+		return fmt.Errorf("malformed TYPE line %q", line)
+	}
+	name, typ := fields[2], fields[3]
+	switch typ {
+	case TypeCounter, TypeGauge, TypeSummary, "histogram", "untyped":
+	default:
+		return fmt.Errorf("unknown metric type %q for %q", typ, name)
+	}
+	if _, dup := e.Types[name]; dup {
+		return fmt.Errorf("duplicate TYPE for %q", name)
+	}
+	e.Types[name] = typ
+	return nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("metric %q: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp (rare, space-separated) is tolerated.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("metric %q: bad value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block starting at s[0]=='{' and
+// returns the index one past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return 0, nil, fmt.Errorf("label without '='")
+		}
+		key := s[i:j]
+		if key != "quantile" && !validLabelKey(key) {
+			return 0, nil, fmt.Errorf("invalid label key %q", key)
+		}
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return 0, nil, fmt.Errorf("label %q: value not quoted", key)
+		}
+		val, next, err := parseQuoted(s, j+1)
+		if err != nil {
+			return 0, nil, fmt.Errorf("label %q: %w", key, err)
+		}
+		if _, dup := labels[key]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val
+		i = next
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted unescapes the quoted string starting at s[start]=='"' and
+// returns the value plus the index one past the closing quote.
+func parseQuoted(s string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(s) {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+// Value returns the sample matching name and every given label (the
+// sample may carry more labels than asked for, e.g. quantile).
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CheckFamilies verifies every name in required has a TYPE declaration
+// in the scrape, returning the missing names.
+func (e *Exposition) CheckFamilies(required []string) []string {
+	var missing []string
+	for _, name := range required {
+		if _, ok := e.Types[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds the fixed registry the exposition golden test
+// renders: every instrument kind, plus label values and help text that
+// need escaping.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("frapp_test_requests_total", "Requests by route and status class.",
+		L("route", "/v1/submit"), L("code", "2xx")).Add(42)
+	reg.Counter("frapp_test_requests_total", "Requests by route and status class.",
+		L("route", "/v1/query"), L("code", "5xx")).Inc()
+	reg.Counter("frapp_test_escapes_total", "Escaping: backslash \\ and\nnewline in help.",
+		L("peer", "http://h\"o\\st:9\n090")).Add(7)
+	reg.Gauge("frapp_test_queue_depth", "Current queue depth.").Set(17)
+	reg.GaugeFunc("frapp_test_uptime_seconds", "Seconds since start.", func() float64 { return 12.5 })
+	h := reg.Histogram("frapp_test_latency_seconds", "Request latency.", L("route", "/v1/submit"))
+	h.Record(time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	return reg
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExpositionRoundTrip parses the renderer's own output and checks
+// the samples (including escaped label values) survive intact — the
+// same validation path CI runs against a live scrape.
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := goldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("own exposition unparseable: %v", err)
+	}
+	if missing := exp.CheckFamilies(reg.Families()); len(missing) > 0 {
+		t.Fatalf("families missing from own scrape: %v", missing)
+	}
+	if got := exp.Types["frapp_test_requests_total"]; got != TypeCounter {
+		t.Errorf("type = %q", got)
+	}
+	if got := exp.Types["frapp_test_latency_seconds"]; got != TypeSummary {
+		t.Errorf("summary type = %q", got)
+	}
+	if v, ok := exp.Value("frapp_test_requests_total", map[string]string{"route": "/v1/submit", "code": "2xx"}); !ok || v != 42 {
+		t.Errorf("counter sample = %v, %v", v, ok)
+	}
+	// The escaped label value must round-trip to the original string.
+	if v, ok := exp.Value("frapp_test_escapes_total", map[string]string{"peer": "http://h\"o\\st:9\n090"}); !ok || v != 7 {
+		t.Errorf("escaped-label sample = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("frapp_test_uptime_seconds", nil); !ok || v != 12.5 {
+		t.Errorf("gaugefunc sample = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("frapp_test_latency_seconds_count", map[string]string{"route": "/v1/submit"}); !ok || v != 2 {
+		t.Errorf("summary count = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("frapp_test_latency_seconds", map[string]string{"route": "/v1/submit", "quantile": "1"}); !ok || v != 0.002 {
+		t.Errorf("summary max quantile = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("frapp_test_latency_seconds_sum", map[string]string{"route": "/v1/submit"}); !ok || v != 0.003 {
+		t.Errorf("summary sum = %v, %v", v, ok)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"undeclared family":  "some_metric 1\n",
+		"bad value":          "# TYPE m counter\nm notanumber\n",
+		"unterminated label": "# TYPE m counter\nm{a=\"x 1\n",
+		"bad label key":      "# TYPE m counter\nm{0bad=\"x\"} 1\n",
+		"unknown type":       "# TYPE m sparkline\nm 1\n",
+		"duplicate type":     "# TYPE m counter\n# TYPE m gauge\nm 1\n",
+		"unknown escape":     "# TYPE m counter\nm{a=\"\\q\"} 1\n",
+		"duplicate label":    "# TYPE m counter\nm{a=\"x\",a=\"y\"} 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition([]byte(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c_total", "help", L("k", "v"))
+	b := reg.Counter("c_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if c := reg.Counter("c_total", "help", L("k", "w")); c == a {
+		t.Fatal("distinct label values shared a counter")
+	}
+	// Label order must not matter for identity.
+	h1 := reg.Histogram("h_seconds", "help", L("a", "1"), L("b", "2"))
+	h2 := reg.Histogram("h_seconds", "help", L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order changed series identity")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type conflict did not panic")
+			}
+		}()
+		reg.Gauge("c_total", "help")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid metric name did not panic")
+			}
+		}()
+		reg.Counter("bad name", "help")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reserved quantile label did not panic")
+			}
+		}()
+		reg.Histogram("h2_seconds", "help", L("quantile", "0.5"))
+	}()
+}
+
+func TestGaugeAddAndSet(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.25)
+	g.Add(-0.75)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestEachSeriesEnumeratesAllLabels(t *testing.T) {
+	reg := goldenRegistry()
+	seen := map[string]int{}
+	reg.EachSeries(func(name, typ string, labels []Label) {
+		seen[name]++
+		for _, l := range labels {
+			if l.Key == "" {
+				t.Errorf("series %s has empty label key", name)
+			}
+		}
+	})
+	if seen["frapp_test_requests_total"] != 2 {
+		t.Errorf("requests series = %d, want 2", seen["frapp_test_requests_total"])
+	}
+	if len(seen) != 5 {
+		t.Errorf("families seen = %d, want 5", len(seen))
+	}
+}
