@@ -5,9 +5,10 @@
 // Usage:
 //
 //	frapp-loadgen [-target URL] [-scheme gamma|mask|cutpaste]
-//	              [-duration 30s] [-workers 256] [-rate 2000]
-//	              [-mix 90:9:1] [-population 100000] [-seed S]
-//	              [-out BENCH_load.json] [-baseline bench_baseline.json]
+//	              [-collection NAME] [-duration 30s] [-workers 256]
+//	              [-rate 2000] [-mix 90:9:1] [-population 100000]
+//	              [-seed S] [-out BENCH_load.json]
+//	              [-baseline bench_baseline.json]
 //	              [-ops-target URL] [-metrics-out load_metrics.txt]
 //
 // The harness synthesizes a seeded Zipf-skewed population with
@@ -22,6 +23,12 @@
 // external process to manage. Adding -state DIR gives the self-hosted
 // server a durable store, so the run measures ingestion with the WAL
 // and checkpoint machinery enabled.
+//
+// -collection NAME scopes the whole workload to a named collection via
+// the /v1/collections/NAME/ routes. Against a remote -target the
+// collection must already exist; a self-hosted run creates it inside an
+// in-process collection registry, so the measured stack includes
+// multi-tenant dispatch.
 //
 // After the run the harness scrapes the target's ops listener
 // (-ops-target, or the self-hosted server's built-in loopback ops
@@ -41,11 +48,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/loadgen"
+	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -85,6 +94,12 @@ func run(args []string) int {
 			cfg.OpsTarget = opsURL
 		}
 		fmt.Fprintf(os.Stderr, "self-hosting frapp-server at %s (scheme %s, ops %s)\n", url, cfg.Scheme, opsURL)
+	}
+	if cfg.Collection != "" {
+		// Scope the whole workload to the named collection; the alias
+		// routes accept the client's /v1/... suffix after this prefix.
+		cfg.Target = strings.TrimRight(cfg.Target, "/") + "/v1/collections/" + cfg.Collection
+		fmt.Fprintf(os.Stderr, "targeting collection %q at %s\n", cfg.Collection, cfg.Target)
 	}
 
 	fmt.Fprintf(os.Stderr, "driving %s open-loop: %g ops/s, %d workers, mix %s\n",
@@ -150,40 +165,79 @@ func run(args []string) int {
 // its own — returning its shutdown func, base URL, and ops URL. The
 // built-in ops listener means the -ops-target scrape gate exercises the
 // same /metrics path CI scrapes, with no external process to manage.
+//
+// With -collection set, the server is created inside an in-process
+// collection registry instead, so the workload traverses the full
+// multi-tenant /v1/collections/{name}/ dispatch path — the same stack a
+// named tenant sees in production.
 func selfHost(cfg *loadgen.Config, pop *loadgen.Population) (func(), string, string, error) {
 	reg := telemetry.NewRegistry()
-	opts := []service.Option{service.WithScheme(cfg.Scheme), service.WithTelemetry(reg)}
-	if cfg.State != "" {
-		st, err := store.Open(cfg.State)
-		if err != nil {
-			return nil, "", "", err
-		}
-		opts = append(opts, service.WithStore(st))
-	}
-	srv, err := service.NewServer(pop.Schema,
-		core.PrivacySpec{Rho1: cfg.Rho1, Rho2: cfg.Rho2}, opts...)
+	handler, closeServer, err := selfHostHandler(cfg, pop, reg)
 	if err != nil {
 		return nil, "", "", err
 	}
 	ops, err := telemetry.ServeOps("127.0.0.1:0", telemetry.OpsHandler(reg, nil))
 	if err != nil {
-		srv.Close()
+		closeServer()
 		return nil, "", "", err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		ops.Close()
-		srv.Close()
+		closeServer()
 		return nil, "", "", err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	go func() { _ = hs.Serve(ln) }()
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 		_ = ops.Close()
-		srv.Close()
+		closeServer()
 	}
 	return shutdown, "http://" + ln.Addr().String(), "http://" + ops.Addr, nil
+}
+
+// selfHostHandler builds the HTTP handler under test: a bare server for
+// the legacy single-tenant path, or a registry hosting the named
+// collection when -collection is set.
+func selfHostHandler(cfg *loadgen.Config, pop *loadgen.Population, reg *telemetry.Registry) (http.Handler, func(), error) {
+	if cfg.Collection == "" {
+		opts := []service.Option{service.WithScheme(cfg.Scheme), service.WithTelemetry(reg)}
+		if cfg.State != "" {
+			st, err := store.Open(cfg.State)
+			if err != nil {
+				return nil, nil, err
+			}
+			opts = append(opts, service.WithStore(st))
+		}
+		srv, err := service.NewServer(pop.Schema,
+			core.PrivacySpec{Rho1: cfg.Rho1, Rho2: cfg.Rho2}, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return srv.Handler(), srv.Close, nil
+	}
+	tenants, err := registry.New(registry.Options{BaseDir: cfg.State, Metrics: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	col, _, err := tenants.Create(cfg.Collection, registry.CollectionSpec{
+		Schema: &registry.SchemaSpec{Name: pop.Schema.Name, Attrs: pop.Schema.Attrs},
+		Scheme: cfg.Scheme,
+		Rho1:   cfg.Rho1,
+		Rho2:   cfg.Rho2,
+	})
+	if err != nil {
+		tenants.Close()
+		return nil, nil, err
+	}
+	// The client's first request is GET /v1/schema; wait out WAL
+	// recovery so it can't race a 503.
+	if err := col.AwaitReady(); err != nil {
+		tenants.Close()
+		return nil, nil, err
+	}
+	return tenants.Handler(), tenants.Close, nil
 }

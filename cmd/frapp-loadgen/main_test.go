@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/loadgen"
@@ -42,6 +43,35 @@ func TestRunBadConfigExits2(t *testing.T) {
 	}
 	if code := run([]string{"-nonsense"}); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-collection", "Not A Name"}); code != 2 {
+		t.Fatalf("bad collection name exit %d, want 2", code)
+	}
+}
+
+func TestRunSelfHostedCollection(t *testing.T) {
+	// A named collection drives the multi-tenant dispatch path; the
+	// scrape must carry its collection label, proving the workload ran
+	// against the registry-built server, not a bare one.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_load.json")
+	metrics := filepath.Join(dir, "load_metrics.txt")
+	if code := run(shortArgs("-out", out, "-metrics-out", metrics, "-collection", "perf-tenant")); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	rpt, err := loadgen.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rpt.Results) == 0 {
+		t.Fatal("empty results")
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `collection="perf-tenant"`) {
+		t.Fatal("scrape has no collection=\"perf-tenant\" label; workload did not traverse the registry")
 	}
 }
 

@@ -13,9 +13,31 @@
 //	             [-wal-flush 200ms]
 //	             [-shards 0] [-mine-workers 2] [-job-ttl 15m]
 //	             [-query-limit 1024] [-max-body 8388608]
+//	             [-window-buckets 0] [-window-bucket 0]
+//	             [-max-collections 32]
 //	             [-peers http://site-a:8080,http://site-b:8080]
 //	             [-sync-interval 5s]
 //	             [-ops-addr 127.0.0.1:9090] [-access-log] [-log-level info]
+//
+// The server is multi-tenant: the flag-configured collection above is
+// the DEFAULT collection, served on the classic un-prefixed routes,
+// and further named collections — each with its own schema, privacy
+// contract, scheme, counter, mining pool, and (with -state) its own
+// WAL+checkpoint directory under statedir/tenants/<name>/ — are
+// managed at runtime via PUT/GET/DELETE /v1/collections/{name} and
+// reached under /v1/collections/{name}/v1/... (see
+// docs/multitenancy.md). -max-collections caps how many are live at
+// once. Named collections are recorded in statedir/collections.json
+// and rebuilt (WAL recovery included) at next start; /readyz stays 503
+// with a per-collection breakdown until every one of them finishes.
+//
+// -window-buckets/-window-bucket make the DEFAULT collection a sliding
+// window: a ring of -window-buckets sub-counters each spanning
+// -window-bucket of wall-clock time. Records expire as their bucket
+// rotates out (retention = buckets x bucket), and /v1/query plus
+// mining jobs accept a `window` parameter answering over only the last
+// window of time at unchanged cost. Windowed collections are
+// in-memory only: they refuse -state and -peers.
 //
 // -ops-addr (default off) binds a SEPARATE operational listener serving
 // GET /metrics (Prometheus text exposition), GET /healthz, GET /readyz
@@ -89,6 +111,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/federation"
+	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -110,6 +133,9 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished mining jobs (0 = default 15m)")
 		queryLimit   = flag.Int("query-limit", 0, "max filters per /v1/query batch (0 = default 1024)")
 		maxBody      = flag.Int64("max-body", 0, "max request body bytes on POST endpoints, 413 beyond (0 = default 8MiB)")
+		winBuckets   = flag.Int("window-buckets", 0, "sliding-window ring buckets for the default collection (0 = unwindowed)")
+		winBucket    = flag.Duration("window-bucket", 0, "sliding-window bucket duration (with -window-buckets)")
+		maxCols      = flag.Int("max-collections", 0, "max live collections including the default (0 = default 32)")
 		peers        = flag.String("peers", "", "comma-separated collector base URLs; run as federation coordinator")
 		syncInterval = flag.Duration("sync-interval", 0, "federation pull interval (0 = default 5s)")
 		opsAddr      = flag.String("ops-addr", "", "ops listener address for /metrics, /healthz, /readyz, and pprof (empty = off; bind localhost in production)")
@@ -122,6 +148,7 @@ func main() {
 		state: *state, checkpointEvery: *ckptEvery, walSync: *walSync, walFlush: *walFlush,
 		shards: *shards, mineWorkers: *workers, jobTTL: *jobTTL,
 		queryLimit: *queryLimit, maxBody: *maxBody, peers: *peers, syncInterval: *syncInterval,
+		windowBuckets: *winBuckets, windowBucket: *winBucket, maxCollections: *maxCols,
 		opsAddr: *opsAddr, accessLog: *accessLog, logLevel: *logLevel,
 	}
 	// The signal context lives in main so run stays testable: tests
@@ -151,6 +178,9 @@ type serverConfig struct {
 	maxBody         int64
 	peers           string
 	syncInterval    time.Duration
+	windowBuckets   int
+	windowBucket    time.Duration
+	maxCollections  int
 	opsAddr         string
 	accessLog       bool
 	logLevel        string
@@ -174,14 +204,37 @@ func run(ctx context.Context, cfg serverConfig) error {
 	if cfg.peers != "" && cfg.state != "" {
 		return errors.New("-state cannot be combined with -peers: a coordinator's counter is rebuilt from its peers, which own the durable state")
 	}
+	windowed := cfg.windowBuckets != 0 || cfg.windowBucket != 0
+	if windowed {
+		if cfg.windowBuckets == 0 || cfg.windowBucket == 0 {
+			return errors.New("-window-buckets and -window-bucket must be set together")
+		}
+		if cfg.state != "" {
+			return errors.New("-state cannot be combined with a sliding window: bucket expiry is wall-clock-defined and cannot be replayed")
+		}
+		if cfg.peers != "" {
+			return errors.New("-peers cannot be combined with a sliding window: expiry cannot be replicated")
+		}
+	}
+	syncMode := store.SyncAlways
+	switch cfg.walSync {
+	case "", "always":
+	case "off":
+		syncMode = store.SyncOff
+	default:
+		return fmt.Errorf("bad -wal-sync %q (want always or off)", cfg.walSync)
+	}
 	spec := core.PrivacySpec{Rho1: cfg.rho1, Rho2: cfg.rho2}
 
 	// Telemetry is always collected (the instruments are allocation-free
 	// on the hot path); -ops-addr controls whether anything serves it.
 	// The ops listener is bound BEFORE recovery so /readyz answers 503
-	// during a long WAL replay instead of refusing connections.
+	// during a long WAL replay instead of refusing connections. colReg
+	// is published once the collection registry exists, so readiness
+	// also reflects every named collection's background rebuild.
 	reg := telemetry.NewRegistry()
 	var recovered, warm atomic.Bool
+	var colReg atomic.Pointer[registry.Registry]
 	if cfg.opsAddr != "" {
 		ready := func() error {
 			if !recovered.Load() {
@@ -189,6 +242,9 @@ func run(ctx context.Context, cfg serverConfig) error {
 			}
 			if !warm.Load() {
 				return errors.New("initial federation sync not finished")
+			}
+			if r := colReg.Load(); r != nil {
+				return r.Ready()
 			}
 			return nil
 		}
@@ -208,12 +264,17 @@ func run(ctx context.Context, cfg serverConfig) error {
 		service.WithMaxBody(cfg.maxBody),
 		service.WithTelemetry(reg),
 	}
+	var accessLogger *telemetry.Logger
 	if cfg.accessLog {
 		lvl, err := telemetry.ParseLevel(cfg.logLevel)
 		if err != nil {
 			return err
 		}
-		opts = append(opts, service.WithAccessLog(telemetry.NewLogger(os.Stderr, lvl)))
+		accessLogger = telemetry.NewLogger(os.Stderr, lvl)
+		opts = append(opts, service.WithAccessLog(accessLogger))
+	}
+	if windowed {
+		opts = append(opts, service.WithWindow(cfg.windowBuckets, cfg.windowBucket))
 	}
 
 	var (
@@ -221,14 +282,6 @@ func run(ctx context.Context, cfg serverConfig) error {
 		err error
 	)
 	if cfg.state != "" {
-		syncMode := store.SyncAlways
-		switch cfg.walSync {
-		case "", "always":
-		case "off":
-			syncMode = store.SyncOff
-		default:
-			return fmt.Errorf("bad -wal-sync %q (want always or off)", cfg.walSync)
-		}
 		st, err := store.Open(cfg.state, store.WithSyncMode(syncMode))
 		if err != nil {
 			return err
@@ -247,6 +300,27 @@ func run(ctx context.Context, cfg serverConfig) error {
 	}
 	defer srv.Close()
 	recovered.Store(true)
+
+	// The collection registry hosts further named collections beside the
+	// flag-configured default. With -state, their specs live in
+	// statedir/collections.json and their stores under statedir/tenants/
+	// — any that were recorded start rebuilding (WAL recovery included)
+	// in the background now; /readyz covers them via colReg above.
+	tenants, err := registry.New(registry.Options{
+		BaseDir:        cfg.state,
+		MaxCollections: cfg.maxCollections,
+		Metrics:        reg,
+		AccessLog:      accessLogger,
+		SyncMode:       syncMode,
+	})
+	if err != nil {
+		return err
+	}
+	defer tenants.Close()
+	if _, err := tenants.Adopt(registry.DefaultCollection, srv); err != nil {
+		return err
+	}
+	colReg.Store(tenants)
 
 	var coord *federation.Coordinator
 	if cfg.peers == "" {
@@ -279,10 +353,10 @@ func run(ctx context.Context, cfg serverConfig) error {
 			len(coord.Peers()), coord.SyncInterval())
 	}
 
-	log.Printf("frapp-server: schema=%s scheme=%s records=%d shards=%d mine-workers=%d listening on %s",
-		sc.Name, srv.Scheme(), srv.N(), srv.Shards(), srv.MineWorkers(), cfg.addr)
+	log.Printf("frapp-server: schema=%s scheme=%s records=%d shards=%d mine-workers=%d collections=%d listening on %s",
+		sc.Name, srv.Scheme(), srv.N(), srv.Shards(), srv.MineWorkers(), len(tenants.Names()), cfg.addr)
 
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: tenants.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
@@ -308,6 +382,8 @@ func run(ctx context.Context, cfg serverConfig) error {
 			log.Printf("frapp-server: shutdown: %v", err)
 		}
 	}
+	// Named collections close (with a final checkpoint each) inside the
+	// deferred tenants.Close; checkpoint the adopted default explicitly.
 	if cfg.state != "" {
 		// The WAL already holds everything flushed; the final checkpoint
 		// compacts the shutdown state so the next boot replays nothing.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mining"
+	"repro/internal/registry"
 	"repro/internal/service"
 )
 
@@ -106,6 +107,14 @@ type Config struct {
 	// server owns its own durability. Lets the perf gate measure the
 	// handler stack with the WAL enabled.
 	State string
+	// Collection is the named collection the workload targets
+	// ("" = the default collection on the legacy un-prefixed routes).
+	// Against a remote server the collection must already exist; a
+	// self-hosted run creates it in an in-process registry and drives
+	// it through the full /v1/collections/{name}/ routing path, so the
+	// perf gate measures multi-tenant dispatch, not just the bare
+	// handler stack.
+	Collection string
 	// OpsTarget is the base URL of the target server's ops listener
 	// (frapp-server -ops-addr). When set, the harness scrapes /metrics
 	// after the run, folds the server-observed latency quantiles into the
@@ -149,6 +158,7 @@ func newFlagSet(cfg *Config, mix *string) *flag.FlagSet {
 	fs.Int64Var(&cfg.Seed, "seed", 2005, "seed for population, perturbation, and arrival schedule")
 	fs.Float64Var(&cfg.Skew, "zipf-skew", 1.1, "Zipf exponent of category frequencies")
 	fs.StringVar(&cfg.State, "state", "", "durable state directory for the self-hosted server (empty = in-memory; ignored with -target)")
+	fs.StringVar(&cfg.Collection, "collection", "", "named collection to drive via /v1/collections/{name}/ routes (empty = the default collection; self-hosted runs create it)")
 	fs.StringVar(&cfg.OpsTarget, "ops-target", "", "base URL of the target's ops listener to scrape /metrics from (self-hosted runs default to a built-in loopback ops listener)")
 	fs.StringVar(&cfg.MetricsOut, "metrics-out", "", "save the raw post-run /metrics scrape to this path (empty = don't save)")
 	fs.StringVar(&cfg.Out, "out", "BENCH_load.json", "machine-readable report path (empty = don't write)")
@@ -244,6 +254,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Skew < 0 || math.IsNaN(c.Skew) || math.IsInf(c.Skew, 0) {
 		return fmt.Errorf("%w: zipf-skew %v", ErrConfig, c.Skew)
+	}
+	if c.Collection != "" && !registry.ValidName(c.Collection) {
+		return fmt.Errorf("%w: bad collection name %q", ErrConfig, c.Collection)
 	}
 	if !(c.Rho1 > 0) || !(c.Rho2 > c.Rho1) || c.Rho2 >= 1 {
 		return fmt.Errorf("%w: privacy bounds rho1=%v rho2=%v need 0 < rho1 < rho2 < 1", ErrConfig, c.Rho1, c.Rho2)

@@ -43,8 +43,14 @@ func (e Estimate) Proportion() (p, lo, hi float64) {
 	return e.Count / n, e.Lo / n, e.Hi / n
 }
 
-// z95 is the two-sided 95% normal quantile.
-const z95 = 1.959963984540054
+// Z95 is the two-sided 95% normal quantile — exported so layers that
+// compose confidence intervals from mining.PointEstimates directly
+// (the windowed query path) use exactly the constant this package's
+// own intervals are built with.
+const Z95 = 1.959963984540054
+
+// z95 is the internal alias the estimator paths use.
+const z95 = Z95
 
 // Reconstruct is the estimator core shared by the record-scan Engine and
 // the counter-backed CounterEngine: given the PERTURBED match count y

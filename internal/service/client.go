@@ -533,12 +533,21 @@ func (c *Client) MineAsync(ctx context.Context, p MineParams) (*MineResponse, er
 // record. Estimates come in filter order, all based on the same record
 // count, and the response carries the snapshot version it is exact for.
 func (c *Client) QueryAll(filters []QueryFilter) (*QueryResponse, error) {
+	return c.QueryWindow(filters, "")
+}
+
+// QueryWindow is QueryAll restricted to the records of the last window
+// of wall-clock time (a Go duration string, e.g. "24h"), rounded up to
+// whole ring buckets. Only windowed collections accept a non-empty
+// window; the empty string queries the full collection.
+func (c *Client) QueryWindow(filters []QueryFilter, window string) (*QueryResponse, error) {
 	// Marshaled directly rather than through QueryRequest: the raw
 	// message indirection there exists for the server's duplicate-key
 	// detection, which string-keyed maps cannot trip.
 	body, err := json.Marshal(struct {
 		Filters []QueryFilter `json:"filters"`
-	}{Filters: filters})
+		Window  string        `json:"window,omitempty"`
+	}{Filters: filters, Window: window})
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,26 @@ type MineParams struct {
 	MinConf    float64 `json:"minconf"`
 	Limit      int     `json:"limit"`
 	MaxLen     int     `json:"maxlen"`
+	// Window restricts the mine to the records of the last Window of
+	// wall-clock time (a Go duration string, e.g. "24h"), rounded up to
+	// whole ring buckets. Only valid on a windowed collection; empty
+	// means the full collection.
+	Window string `json:"window,omitempty"`
+}
+
+// windowDuration parses the Window parameter; ("", 0) when absent.
+func (p MineParams) windowDuration() (time.Duration, error) {
+	if p.Window == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(p.Window)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad window %q: %v", ErrService, p.Window, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("%w: window %q must be positive", ErrService, p.Window)
+	}
+	return d, nil
 }
 
 // applyDefaults replaces zero values with the endpoint defaults — used
@@ -58,7 +78,8 @@ func (p MineParams) validate() error {
 	if p.MaxLen < 0 {
 		return fmt.Errorf("%w: negative maxlen %d", ErrService, p.MaxLen)
 	}
-	return nil
+	_, err := p.windowDuration()
+	return err
 }
 
 const (
@@ -132,6 +153,11 @@ type mineKey struct {
 	minsup  float64
 	scheme  string
 	maxlen  int
+	// window distinguishes computations over different time windows of
+	// one windowed counter. The version alone does not: rotation bumps
+	// the version, but two requests at the SAME version with different
+	// windows mine different bucket unions.
+	window time.Duration
 }
 
 // cacheEntry is one computed Apriori result.

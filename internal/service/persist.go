@@ -34,6 +34,11 @@ func (s *Server) LoadState(r io.Reader) error {
 	if s.store != nil {
 		return errStoreBacked
 	}
+	if s.windowed {
+		// A restored counter has no ring and no expiry clock; swapping it
+		// in would silently turn the window into a forever collection.
+		return errWindowedServer
+	}
 	counter, err := mining.LoadLiveCounter(r, s.scheme, s.Shards())
 	if err != nil {
 		return err

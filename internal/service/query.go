@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/mining"
 	"repro/internal/query"
@@ -46,6 +47,11 @@ type QueryFilter map[string]string
 // would silently collapse.
 type QueryRequest struct {
 	Filters []json.RawMessage `json:"filters"`
+	// Window restricts the estimates to the records of the last Window
+	// of wall-clock time (a Go duration string, e.g. "24h"), rounded up
+	// to whole ring buckets. Only valid on a windowed collection; empty
+	// means the full collection.
+	Window string `json:"window,omitempty"`
 }
 
 // QueryEstimate is one reconstructed count estimate on the wire.
@@ -84,6 +90,10 @@ type QueryResponse struct {
 	// URL → replication position: exactly which per-site states the
 	// merged counter these estimates were answered from reflects.
 	VersionVector map[string]uint64 `json:"version_vector,omitempty"`
+	// Window echoes the request's window restriction on a windowed
+	// collection: Records and every estimate cover only the newest
+	// ceil(window/bucket) ring buckets. Absent on unwindowed queries.
+	Window string `json:"window,omitempty"`
 	// Estimates are in filter order.
 	Estimates []QueryEstimate `json:"estimates"`
 }
@@ -173,6 +183,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// One load yields a consistent (counter, generation) pair even if a
 	// state restore lands mid-request.
 	ref := s.counter.Load()
+	if qr.Window != "" {
+		s.handleWindowedQuery(w, ref, filters, qr.Window)
+		return
+	}
 	counter := ref.counter
 	if counter.N() == 0 {
 		httpError(w, http.StatusConflict, errNoSubmissions)
@@ -207,6 +221,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, e := range ests {
 		resp.Estimates[i] = QueryEstimate{Count: e.Count, StdErr: e.StdErr, Lo: e.Lo, Hi: e.Hi, N: e.N}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWindowedQuery answers a filter batch restricted to the newest
+// ceil(window/bucket) ring buckets of a windowed collection. The
+// counter returns the version together with the estimates, read under
+// the same lock as the sweep: windowed content is non-monotonic (a ring
+// rotation REMOVES records), so the unwindowed path's "version read
+// before the sweep stays valid for strictly newer content" argument
+// does not apply and the stamp must be exact.
+func (s *Server) handleWindowedQuery(w http.ResponseWriter, ref *counterRef, filters []mining.Itemset, windowStr string) {
+	window, err := time.ParseDuration(windowStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad window %q: %v", ErrService, windowStr, err))
+		return
+	}
+	if window <= 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: window %q must be positive", ErrService, windowStr))
+		return
+	}
+	wv, ok := ref.counter.(mining.WindowView)
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%w: collection is not windowed; query without the window field", ErrService))
+		return
+	}
+	ests, n, version, err := wv.EstimatesWindow(filters, window)
+	if err != nil {
+		// Filters were validated by the caller, so estimator errors are
+		// server bugs, as on the unwindowed path.
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if n == 0 {
+		httpError(w, http.StatusConflict, fmt.Errorf("%w (no records in the last %s)", errNoSubmissions, windowStr))
+		return
+	}
+	resp := QueryResponse{
+		Records:           n,
+		SnapshotVersion:   version,
+		CounterGeneration: ref.gen,
+		VersionVector:     ref.vector,
+		Window:            windowStr,
+		Estimates:         make([]QueryEstimate, len(ests)),
+	}
+	// Intervals use the same 95% normal quantile the query engine's own
+	// estimates carry, so windowed and unwindowed responses are directly
+	// comparable.
+	for i, pe := range ests {
+		resp.Estimates[i] = QueryEstimate{
+			Count:  pe.Count,
+			StdErr: pe.StdErr,
+			Lo:     pe.Count - query.Z95*pe.StdErr,
+			Hi:     pe.Count + query.Z95*pe.StdErr,
+			N:      n,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -31,8 +31,18 @@ import (
 // they reflect, and it refuses direct submissions (403) — records enter
 // the federation at collector sites only.
 
+// errWindowedServer rejects durability and federation on a windowed
+// server: ring expiry is wall-clock-defined, so neither a WAL replay
+// nor a delta stream can reproduce the collection's content later or
+// elsewhere (deltas cannot express expiry subtractions at all).
+var errWindowedServer = fmt.Errorf("%w: collection is a sliding window (in-memory ring); replication and state restore are unavailable", ErrService)
+
 // handleReplicate serves one replication pull.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.windowed {
+		httpError(w, http.StatusConflict, errWindowedServer)
+		return
+	}
 	since, err := queryUint64(r, "since", 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -85,6 +95,11 @@ func (s *Server) ReplaceCounter(c mining.LiveCounter, vector map[string]uint64) 
 		// to; swapping the object would silently stop persisting.
 		return errStoreBacked
 	}
+	if s.windowed {
+		// Swapping a plain merged counter into a windowed server would
+		// silently drop the expiry semantics the collection advertises.
+		return errWindowedServer
+	}
 	if c.Fingerprint() != s.scheme.Fingerprint() {
 		return fmt.Errorf("%w: counter does not match this server's scheme, schema, and perturbation contract", ErrService)
 	}
@@ -107,6 +122,11 @@ func (s *Server) EnableFederation(coord *federation.Coordinator) error {
 		// A coordinator republishes merged counters through
 		// ReplaceCounter, which a store-backed server must refuse.
 		return errStoreBacked
+	}
+	if s.windowed {
+		// ReplaceCounter refuses on a windowed server (see above), so a
+		// coordinator could never publish its merged view.
+		return errWindowedServer
 	}
 	if !s.fed.CompareAndSwap(nil, coord) {
 		return fmt.Errorf("%w: federation already enabled", ErrService)

@@ -94,6 +94,11 @@ type Server struct {
 	persistStop     chan struct{}
 	persistDone     chan struct{}
 	closeOnce       sync.Once
+	// windowed marks a sliding-window collection (WithWindow): its
+	// counter implements mining.WindowView, serves `window` query/mine
+	// parameters, and refuses durability and federation (expiry is
+	// wall-clock-defined and cannot be replayed or replicated).
+	windowed bool
 	// start is when NewServer ran — the anchor for /v1/stats uptime and
 	// the uptime gauge.
 	start time.Time
@@ -127,6 +132,9 @@ type serverConfig struct {
 	walFlush        time.Duration
 	metrics         *telemetry.Registry
 	accessLog       *telemetry.Logger
+	collection      string
+	windowBuckets   int
+	windowBucket    time.Duration
 }
 
 // WithScheme selects the perturbation scheme the server counts under:
@@ -143,6 +151,21 @@ func WithScheme(name string) Option {
 // default) mean runtime.GOMAXPROCS(0) — one stripe per core.
 func WithShards(n int) Option {
 	return func(c *serverConfig) { c.shards = n }
+}
+
+// WithWindow makes the server's collection a sliding window: records
+// expire after buckets × bucket of wall-clock time, maintained as a
+// ring of time-bucketed sub-counters (see mining.WindowedCounter), and
+// /v1/query and mining jobs accept a `window` duration parameter
+// restricting the answer to the newest whole buckets. A windowed
+// collection is in-memory only — it cannot combine with WithStore,
+// LoadState, or federation, because bucket expiry is wall-clock-defined
+// and cannot be replayed or replicated.
+func WithWindow(buckets int, bucket time.Duration) Option {
+	return func(c *serverConfig) {
+		c.windowBuckets = buckets
+		c.windowBucket = bucket
+	}
 }
 
 // defaultMaxBody is the default request-body cap: generous for real
@@ -192,14 +215,24 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	}
 	var met *serverMetrics
 	if cfg.metrics != nil {
-		met = newServerMetrics(cfg.metrics, cfg.accessLog)
+		met = newServerMetrics(cfg.metrics, cfg.accessLog, cfg.collection)
+	}
+	windowed := cfg.windowBuckets != 0 || cfg.windowBucket != 0
+	if windowed && cfg.store != nil {
+		return nil, fmt.Errorf("%w: a windowed collection cannot be store-backed (bucket expiry is wall-clock-defined and cannot be replayed)", ErrService)
 	}
 	// A store-backed server starts from its durable state — newest
 	// checkpoint plus replayed WAL tail — instead of empty, and the
 	// recovered counter carries its pre-crash replication identity so
-	// federation pullers resume incrementally.
-	var counter *mining.ShardedCounter
-	if cfg.store != nil {
+	// federation pullers resume incrementally. A windowed server instead
+	// builds the in-memory bucket ring.
+	var counter mining.LiveCounter
+	if windowed {
+		counter, err = mining.NewWindowedCounter(scheme, cfg.shards, cfg.windowBuckets, cfg.windowBucket)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.store != nil {
 		// The observer must be installed before Recover so the recovery
 		// outcome itself is observed. The store interface stays
 		// observer-free; any store that can report is duck-typed here.
@@ -208,9 +241,12 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 				o.SetObserver(&met.storeObs)
 			}
 		}
-		counter, err = cfg.store.Recover(scheme, cfg.shards)
+		recovered, err := cfg.store.Recover(scheme, cfg.shards)
 		if err != nil {
 			return nil, fmt.Errorf("recovering durable state: %w", err)
+		}
+		if recovered != nil {
+			counter = recovered
 		}
 	}
 	if counter == nil {
@@ -220,7 +256,7 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 		}
 	}
 	if cfg.store != nil {
-		if err := cfg.store.Attach(counter); err != nil {
+		if err := cfg.store.Attach(counter.(*mining.ShardedCounter)); err != nil {
 			return nil, fmt.Errorf("attaching durable store: %w", err)
 		}
 	}
@@ -230,7 +266,7 @@ func NewServer(schema *dataset.Schema, spec core.PrivacySpec, opts ...Option) (*
 	if cfg.maxBody <= 0 {
 		cfg.maxBody = defaultMaxBody
 	}
-	s := &Server{schema: schema, spec: spec, gamma: gamma, scheme: scheme, queryLimit: cfg.queryLimit, maxBody: cfg.maxBody, start: time.Now(), met: met}
+	s := &Server{schema: schema, spec: spec, gamma: gamma, scheme: scheme, queryLimit: cfg.queryLimit, maxBody: cfg.maxBody, windowed: windowed, start: time.Now(), met: met}
 	if g, ok := scheme.(*mining.GammaScheme); ok {
 		s.matrix = g.Matrix()
 	}
@@ -285,6 +321,19 @@ func (s *Server) Scheme() string { return s.scheme.Name() }
 // federation coordinator over this server's sites must be built with so
 // its compatibility fingerprint can never drift from the server's own.
 func (s *Server) CounterScheme() mining.CounterScheme { return s.scheme }
+
+// Windowed reports whether this server's collection is a sliding
+// window (WithWindow).
+func (s *Server) Windowed() bool { return s.windowed }
+
+// WindowSpec returns the sliding-window ring geometry — (0, 0) on an
+// unwindowed server.
+func (s *Server) WindowSpec() (buckets int, bucket time.Duration) {
+	if wv, ok := s.ctr().(mining.WindowView); ok {
+		return wv.WindowSpec()
+	}
+	return 0, 0
+}
 
 // N returns the number of submissions received so far.
 func (s *Server) N() int { return s.ctr().N() }
@@ -731,6 +780,10 @@ type MineResponse struct {
 	// version-keyed result cache rather than a fresh Apriori run.
 	SnapshotVersion uint64 `json:"snapshot_version"`
 	Cached          bool   `json:"cached,omitempty"`
+	// Window echoes the request's window restriction on a windowed
+	// collection: the model was mined from only the records of the last
+	// Window, rounded up to whole ring buckets. Absent on full mines.
+	Window string `json:"window,omitempty"`
 	// VersionVector, present only on a federation coordinator, maps peer
 	// URL → replication position: exactly which per-site states the
 	// merged counter this model was mined from reflects.
@@ -770,6 +823,7 @@ func mineParamsFromQuery(r *http.Request) (MineParams, error) {
 	if p.MaxLen, err = queryInt(r, "maxlen", 0); err != nil {
 		return p, err
 	}
+	p.Window = r.URL.Query().Get("window")
 	// Defaults were applied for ABSENT parameters only (above), so an
 	// explicit minsup=0 is rejected and an explicit limit=0 still means
 	// "no itemsets in the response" — the endpoint's pre-job semantics.
@@ -879,7 +933,24 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 	// collide with the old counter's cached versions).
 	ref := s.counter.Load()
 	counter, gen := ref.counter, ref.gen
-	key := mineKey{gen: gen, version: counter.Version(), minsup: p.MinSupport, scheme: s.scheme.Name(), maxlen: p.MaxLen}
+	// A window restriction is only meaningful on a windowed collection.
+	// The parsed duration (not the request spelling) keys the cache, so
+	// "60m" and "1h" share one entry; a windowed counter bumps its
+	// version on every ring rotation, so equal (generation, version)
+	// implies the same bucket union for every window and the cache
+	// discipline below carries over unchanged.
+	window, err := p.windowDuration()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var wv mining.WindowView
+	if window > 0 {
+		var ok bool
+		if wv, ok = counter.(mining.WindowView); !ok {
+			return nil, 0, false, fmt.Errorf("%w: collection is not windowed; mine without the window parameter", ErrService)
+		}
+	}
+	key := mineKey{gen: gen, version: counter.Version(), minsup: p.MinSupport, scheme: s.scheme.Name(), maxlen: p.MaxLen, window: window}
 	if e := s.jobs.cacheGet(key); e != nil {
 		if s.met != nil {
 			s.met.jobs.cacheHits.Inc()
@@ -894,10 +965,22 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 		return resp, key.version, true, nil
 	}
 	// Mine a frozen snapshot so every Apriori pass sees one consistent
-	// record count even while submissions keep arriving.
-	snapshot, version := counter.SnapshotVersioned()
+	// record count even while submissions keep arriving. A windowed mine
+	// folds only the requested bucket suffix of the ring.
+	var (
+		snapshot mining.SupportCounter
+		version  uint64
+	)
+	if window > 0 {
+		snapshot, version = wv.SnapshotWindowVersioned(window)
+	} else {
+		snapshot, version = counter.SnapshotVersioned()
+	}
 	n := snapshot.N()
 	if n == 0 {
+		if window > 0 {
+			return nil, version, false, fmt.Errorf("%w (no records in the last %s)", errNoSubmissions, p.Window)
+		}
 		return nil, version, false, errNoSubmissions
 	}
 	res, err := mining.AprioriWithOptions(snapshot, p.MinSupport, mining.Options{CandidateRelaxation: 1, MaxLen: p.MaxLen})
@@ -912,7 +995,7 @@ func (s *Server) executeMine(p MineParams) (*MineResponse, uint64, bool, error) 
 	// key (both snapshots valid for this version, possibly with a few
 	// more folded-in records each), the first store wins and every job
 	// reporting this (generation, version, params) returns its result.
-	entry := s.jobs.cachePut(mineKey{gen: gen, version: version, minsup: p.MinSupport, scheme: s.scheme.Name(), maxlen: p.MaxLen},
+	entry := s.jobs.cachePut(mineKey{gen: gen, version: version, minsup: p.MinSupport, scheme: s.scheme.Name(), maxlen: p.MaxLen, window: window},
 		&cacheEntry{records: n, result: res})
 	resp, err := s.renderMine(entry.result, entry.records, p)
 	if err != nil {
@@ -931,6 +1014,7 @@ func (s *Server) renderMine(res *mining.Result, records int, p MineParams) (*Min
 	resp := &MineResponse{
 		Records:    records,
 		MinSupport: p.MinSupport,
+		Window:     p.Window,
 		Counts:     res.Counts(),
 	}
 	emitted := 0

@@ -40,6 +40,19 @@ func WithAccessLog(l *telemetry.Logger) Option {
 	return func(c *serverConfig) { c.accessLog = l }
 }
 
+// WithCollectionLabel stamps every metric family this server registers
+// (and its access-log lines) with a `collection` label — used by the
+// multi-tenant registry so one shared telemetry registry separates
+// tenants. The label vocabulary stays closed and bounded: values are
+// registry-validated collection names (lowercase slug, max 64 chars),
+// and the registry caps how many collections may exist, so the label
+// can never explode cardinality or carry record contents. Servers built
+// without this option register unlabeled series, byte-compatible with
+// pre-registry expositions.
+func WithCollectionLabel(name string) Option {
+	return func(c *serverConfig) { c.collection = name }
+}
+
 // reqKey is one (route, status class, wire form) combination — a struct
 // key so the hot-path map lookup below allocates nothing.
 type reqKey struct {
@@ -54,6 +67,9 @@ type reqKey struct {
 type serverMetrics struct {
 	reg *telemetry.Registry
 	log *telemetry.Logger
+	// collection, when non-empty, is prefixed as a `collection` label
+	// onto every series this server registers (see WithCollectionLabel).
+	collection string
 
 	inflight *telemetry.Gauge
 	reqMu    sync.RWMutex
@@ -64,18 +80,30 @@ type serverMetrics struct {
 	storeObs storeObserver
 }
 
-func newServerMetrics(reg *telemetry.Registry, accessLog *telemetry.Logger) *serverMetrics {
+func newServerMetrics(reg *telemetry.Registry, accessLog *telemetry.Logger, collection string) *serverMetrics {
 	m := &serverMetrics{
-		reg:      reg,
-		log:      accessLog,
-		requests: make(map[reqKey]*telemetry.Counter),
-		inflight: reg.Gauge("frapp_http_requests_inflight",
-			"HTTP requests currently being handled."),
+		reg:        reg,
+		log:        accessLog,
+		collection: collection,
+		requests:   make(map[reqKey]*telemetry.Counter),
 	}
-	m.jobs.register(reg)
-	m.ingest.register(reg)
-	m.storeObs.register(reg)
+	m.inflight = reg.Gauge("frapp_http_requests_inflight",
+		"HTTP requests currently being handled.", m.lbl()...)
+	m.jobs.register(reg, m.lbl())
+	m.ingest.register(reg, m.lbl())
+	m.storeObs.register(reg, m.lbl())
 	return m
+}
+
+// lbl prepends the collection label (when set) to extra. Registration
+// sites only — never on the per-request hot path.
+func (m *serverMetrics) lbl(extra ...telemetry.Label) []telemetry.Label {
+	if m.collection == "" {
+		return extra
+	}
+	out := make([]telemetry.Label, 0, len(extra)+1)
+	out = append(out, telemetry.L("collection", m.collection))
+	return append(out, extra...)
 }
 
 // requestCounter lazily materializes the counter for one label
@@ -97,7 +125,7 @@ func (m *serverMetrics) requestCounter(route, code, wire string) *telemetry.Coun
 	}
 	c = m.reg.Counter("frapp_http_requests_total",
 		"HTTP requests by route pattern, status class, and wire form.",
-		telemetry.L("route", route), telemetry.L("code", code), telemetry.L("wire", wire))
+		m.lbl(telemetry.L("route", route), telemetry.L("code", code), telemetry.L("wire", wire))...)
 	m.requests[k] = c
 	return c
 }
@@ -180,7 +208,7 @@ func (m *serverMetrics) wrap(pattern string, next http.HandlerFunc) http.Handler
 		route = pattern[i+1:]
 	}
 	dur := m.reg.Histogram("frapp_http_request_duration_seconds",
-		"HTTP request latency by route pattern.", telemetry.L("route", route))
+		"HTTP request latency by route pattern.", m.lbl(telemetry.L("route", route))...)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.inflight.Add(1)
@@ -198,11 +226,16 @@ func (m *serverMetrics) wrap(pattern string, next http.HandlerFunc) http.Handler
 			// The request ID is generated server-side; client-supplied
 			// correlation headers are deliberately not echoed into the log
 			// (they are uncontrolled input on a privacy-sensitive channel).
-			m.log.Info().
+			line := m.log.Info().
 				Req(telemetry.NextRequestID()).
 				Str("method", r.Method).
-				Str("route", route).
-				Int("status", int64(status)).
+				Str("route", route)
+			if m.collection != "" {
+				// The collection name is operator vocabulary (registry-
+				// validated slug), same closed set as the metric label.
+				line = line.Str("collection", m.collection)
+			}
+			line.Int("status", int64(status)).
 				Int("bytes", bytes).
 				Dur("dur", elapsed).
 				Msg("access")
@@ -216,29 +249,34 @@ func (m *serverMetrics) wrap(pattern string, next http.HandlerFunc) http.Handler
 func (m *serverMetrics) wireServer(s *Server) {
 	m.reg.GaugeFunc("frapp_uptime_seconds",
 		"Seconds since the server was constructed.",
-		func() float64 { return time.Since(s.start).Seconds() })
+		func() float64 { return time.Since(s.start).Seconds() }, m.lbl()...)
 	start := m.reg.Gauge("frapp_start_time_seconds",
-		"Unix time the server was constructed, in seconds.")
+		"Unix time the server was constructed, in seconds.", m.lbl()...)
 	start.Set(float64(s.start.UnixNano()) / 1e9)
 	m.reg.GaugeFunc("frapp_jobs_queue_depth",
 		"Mining jobs waiting in the queue.",
-		func() float64 { return float64(len(s.jobs.queue)) })
+		func() float64 { return float64(len(s.jobs.queue)) }, m.lbl()...)
 	m.reg.CounterFunc("frapp_mine_runs_total",
 		"Apriori executions (mining cache misses).",
-		func() float64 { return float64(s.jobs.runs.Load()) })
+		func() float64 { return float64(s.jobs.runs.Load()) }, m.lbl()...)
 	m.reg.GaugeFunc("frapp_records",
 		"Perturbed records in the live counter.",
-		func() float64 { return float64(s.N()) })
+		func() float64 { return float64(s.N()) }, m.lbl()...)
 }
 
-// observeCounter installs the ingest observer on c when it is a
-// ShardedCounter — called for the initial counter and again whenever a
-// state restore swaps the counter object.
+// observeCounter installs the ingest observer on any counter exposing
+// the observer hook (sharded and windowed counters alike) — called for
+// the initial counter and again whenever a state restore swaps the
+// counter object.
 func (m *serverMetrics) observeCounter(c mining.LiveCounter) {
 	if m == nil {
 		return
 	}
-	if sc, ok := c.(*mining.ShardedCounter); ok {
+	type observable interface {
+		Shards() int
+		SetIngestObserver(mining.IngestObserver)
+	}
+	if sc, ok := c.(observable); ok {
 		m.ingest.sizeShards(m.reg, sc.Shards())
 		sc.SetIngestObserver(&m.ingest)
 	}
@@ -257,21 +295,24 @@ type jobMetrics struct {
 	cacheMiss  *telemetry.Counter
 }
 
-func (jm *jobMetrics) register(reg *telemetry.Registry) {
+func (jm *jobMetrics) register(reg *telemetry.Registry, base []telemetry.Label) {
+	with := func(extra ...telemetry.Label) []telemetry.Label {
+		return append(append([]telemetry.Label{}, base...), extra...)
+	}
 	jm.rejected = reg.Counter("frapp_jobs_rejected_total",
-		"Mining jobs refused because the queue was full.")
+		"Mining jobs refused because the queue was full.", base...)
 	jm.done = reg.Counter("frapp_jobs_completed_total",
-		"Mining jobs reaching a terminal state, by outcome.", telemetry.L("state", JobDone))
+		"Mining jobs reaching a terminal state, by outcome.", with(telemetry.L("state", JobDone))...)
 	jm.failed = reg.Counter("frapp_jobs_completed_total",
-		"Mining jobs reaching a terminal state, by outcome.", telemetry.L("state", JobFailed))
+		"Mining jobs reaching a terminal state, by outcome.", with(telemetry.L("state", JobFailed))...)
 	jm.queuedDur = reg.Histogram("frapp_job_state_seconds",
-		"Time mining jobs spend per lifecycle state.", telemetry.L("state", JobQueued))
+		"Time mining jobs spend per lifecycle state.", with(telemetry.L("state", JobQueued))...)
 	jm.runningDur = reg.Histogram("frapp_job_state_seconds",
-		"Time mining jobs spend per lifecycle state.", telemetry.L("state", JobRunning))
+		"Time mining jobs spend per lifecycle state.", with(telemetry.L("state", JobRunning))...)
 	jm.cacheHits = reg.Counter("frapp_mine_cache_hits_total",
-		"Mining requests served from the snapshot-versioned result cache.")
+		"Mining requests served from the snapshot-versioned result cache.", base...)
 	jm.cacheMiss = reg.Counter("frapp_mine_cache_misses_total",
-		"Mining requests that ran Apriori.")
+		"Mining requests that ran Apriori.", base...)
 }
 
 // ingestObserver implements mining.IngestObserver: per-shard record
@@ -283,15 +324,19 @@ type ingestObserver struct {
 	batches      *telemetry.Counter
 	batchSize    *telemetry.Histogram
 	lockWait     *telemetry.Histogram
+	// base labels (the collection label, when set) applied to every
+	// series, including the lazily-sized per-shard counters.
+	base []telemetry.Label
 }
 
-func (o *ingestObserver) register(reg *telemetry.Registry) {
+func (o *ingestObserver) register(reg *telemetry.Registry, base []telemetry.Label) {
+	o.base = base
 	o.batches = reg.Counter("frapp_ingest_batches_total",
-		"Shard-level ingest applications (a submitted batch counts once per shard it touches).")
+		"Shard-level ingest applications (a submitted batch counts once per shard it touches).", base...)
 	o.batchSize = reg.HistogramValues("frapp_ingest_batch_records",
-		"Records per shard-level ingest application.")
+		"Records per shard-level ingest application.", base...)
 	o.lockWait = reg.Histogram("frapp_ingest_lock_wait_seconds",
-		"Time ingest waited to acquire a shard lock, measured at the mutex.")
+		"Time ingest waited to acquire a shard lock, measured at the mutex.", base...)
 }
 
 // sizeShards (re)builds the per-shard counter slice. Registration is
@@ -305,9 +350,9 @@ func (o *ingestObserver) sizeShards(reg *telemetry.Registry, shards int) {
 	}
 	counters := make([]*telemetry.Counter, shards)
 	for i := 0; i < shards; i++ {
+		labels := append(append([]telemetry.Label{}, o.base...), telemetry.L("shard", strconv.Itoa(i)))
 		counters[i] = reg.Counter("frapp_ingest_records_total",
-			"Perturbed records ingested, by counter shard.",
-			telemetry.L("shard", strconv.Itoa(i)))
+			"Perturbed records ingested, by counter shard.", labels...)
 	}
 	o.shardRecords = counters
 }
@@ -348,33 +393,33 @@ type storeObserver struct {
 
 var _ store.Observer = (*storeObserver)(nil)
 
-func (o *storeObserver) register(reg *telemetry.Registry) {
+func (o *storeObserver) register(reg *telemetry.Registry, base []telemetry.Label) {
 	o.appendDur = reg.Histogram("frapp_wal_append_seconds",
-		"Latency of one WAL append (delta extraction through fsync).")
+		"Latency of one WAL append (delta extraction through fsync).", base...)
 	o.fsyncDur = reg.Histogram("frapp_wal_fsync_seconds",
-		"Latency of the fsync inside a WAL append.")
+		"Latency of the fsync inside a WAL append.", base...)
 	o.appends = reg.Counter("frapp_wal_appends_total",
-		"WAL appends that wrote at least one frame.")
+		"WAL appends that wrote at least one frame.", base...)
 	o.appendErrs = reg.Counter("frapp_wal_append_errors_total",
-		"WAL appends that failed (retried by the flusher).")
+		"WAL appends that failed (retried by the flusher).", base...)
 	o.appendBytes = reg.Counter("frapp_wal_appended_bytes_total",
-		"Bytes appended to the WAL.")
+		"Bytes appended to the WAL.", base...)
 	o.appendRecords = reg.Counter("frapp_wal_appended_records_total",
-		"Record deltas appended to the WAL.")
+		"Record deltas appended to the WAL.", base...)
 	o.segmentBytes = reg.Gauge("frapp_wal_segment_bytes",
-		"Size of the live WAL segment; drops to near zero after a checkpoint rotates it.")
+		"Size of the live WAL segment; drops to near zero after a checkpoint rotates it.", base...)
 	o.ckptDur = reg.Histogram("frapp_checkpoint_seconds",
-		"Latency of one checkpoint compaction.")
+		"Latency of one checkpoint compaction.", base...)
 	o.ckpts = reg.Counter("frapp_checkpoints_total",
-		"Successful checkpoint compactions.")
+		"Successful checkpoint compactions.", base...)
 	o.ckptErrs = reg.Counter("frapp_checkpoint_errors_total",
-		"Failed checkpoint compactions.")
+		"Failed checkpoint compactions.", base...)
 	o.ckptBytes = reg.Gauge("frapp_checkpoint_state_bytes",
-		"Serialized state size of the newest checkpoint.")
+		"Serialized state size of the newest checkpoint.", base...)
 	o.recRecords = reg.Gauge("frapp_recovery_records",
-		"Records recovered from durable state at startup.")
+		"Records recovered from durable state at startup.", base...)
 	o.recOutcome = reg.Gauge("frapp_recovery_ok",
-		"1 when startup recovery succeeded (including a cold start), 0 when it failed.")
+		"1 when startup recovery succeeded (including a cold start), 0 when it failed.", base...)
 	reg.GaugeFunc("frapp_checkpoint_age_seconds",
 		"Seconds since the last successful checkpoint; 0 until the first one.",
 		func() float64 {
@@ -383,7 +428,7 @@ func (o *storeObserver) register(reg *telemetry.Registry) {
 				return 0
 			}
 			return time.Since(time.Unix(0, t)).Seconds()
-		})
+		}, base...)
 }
 
 func (o *storeObserver) ObserveAppend(bytes, records int, fsync, total time.Duration, err error) {

@@ -68,7 +68,8 @@ func TestTelemetryNeverLeaksValues(t *testing.T) {
 	logger := telemetry.NewLogger(&logBuf, telemetry.LevelDebug)
 	schema := sentinelSchema(t)
 	srv, err := NewServer(schema, core.PrivacySpec{Rho1: 0.05, Rho2: 0.50},
-		WithShards(2), WithTelemetry(reg), WithAccessLog(logger))
+		WithShards(2), WithTelemetry(reg), WithAccessLog(logger),
+		WithCollectionLabel("tenant-a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,12 +137,14 @@ func TestTelemetryNeverLeaksValues(t *testing.T) {
 	// A future metric whose labels step outside this list fails here
 	// until it is reviewed and added.
 	valuePattern := map[string]*regexp.Regexp{
-		"route": regexp.MustCompile(`^/v1/[a-z-]+(/\{id\})?$`),
-		"code":  regexp.MustCompile(`^([1-5]xx|other)$`),
-		"wire":  regexp.MustCompile(`^(json|binary|none)$`),
-		"shard": regexp.MustCompile(`^[0-9]+$`),
-		"state": regexp.MustCompile(`^(queued|running|done|failed)$`),
+		"route":      regexp.MustCompile(`^/v1/[a-z-]+(/\{id\})?$`),
+		"code":       regexp.MustCompile(`^([1-5]xx|other)$`),
+		"wire":       regexp.MustCompile(`^(json|binary|none)$`),
+		"shard":      regexp.MustCompile(`^[0-9]+$`),
+		"state":      regexp.MustCompile(`^(queued|running|done|failed)$`),
+		"collection": regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,63}$`),
 	}
+	sawCollection := false
 	reg.EachSeries(func(name, typ string, labels []telemetry.Label) {
 		for _, l := range labels {
 			pat, ok := valuePattern[l.Key]
@@ -152,8 +155,17 @@ func TestTelemetryNeverLeaksValues(t *testing.T) {
 			if !pat.MatchString(l.Value) {
 				t.Errorf("metric %s: label %s=%q outside the closed vocabulary %v", name, l.Key, l.Value, pat)
 			}
+			if l.Key == "collection" {
+				sawCollection = true
+				if l.Value != "tenant-a" {
+					t.Errorf("metric %s: collection=%q, want the registered name %q", name, l.Value, "tenant-a")
+				}
+			}
 		}
 	})
+	if !sawCollection {
+		t.Error("no metric series carries the collection label despite WithCollectionLabel")
+	}
 
 	logs := logBuf.String()
 	if strings.Contains(logs, sentinel) {
@@ -162,8 +174,8 @@ func TestTelemetryNeverLeaksValues(t *testing.T) {
 	// Every access line must be valid JSON with only the fixed field set
 	// — the log schema counterpart of the label-vocabulary check.
 	allowedFields := map[string]bool{
-		"ts": true, "level": true, "req": true, "method": true,
-		"route": true, "status": true, "bytes": true, "dur": true, "msg": true,
+		"ts": true, "level": true, "req": true, "method": true, "route": true,
+		"collection": true, "status": true, "bytes": true, "dur": true, "msg": true,
 	}
 	lines := strings.Split(strings.TrimSpace(logs), "\n")
 	if len(lines) == 0 || lines[0] == "" {
